@@ -1,0 +1,77 @@
+// E5 — Ablation of the level-set withholding (Definition 4 / Lemma 1).
+// Claim: on adversarial heavy-hitter streams (doubling heavies followed
+// by light bursts) plain precision sampling keeps paying messages for
+// light items because extreme heavies depress the s-th largest key
+// relative to the total weight; withholding bounds the cost. On benign
+// uniform streams the two variants cost about the same.
+
+#include "bench_util.h"
+#include "util/math_util.h"
+
+namespace {
+
+dwrs::Workload DoublingStream(int k, uint64_t n, uint64_t burst,
+                              uint64_t seed) {
+  return dwrs::WorkloadBuilder()
+      .num_sites(k)
+      .num_items(n)
+      .seed(seed)
+      .weights(std::make_unique<dwrs::DoublingHeavyWeights>(burst))
+      .partitioner(std::make_unique<dwrs::RandomPartitioner>())
+      .Build();
+}
+
+uint64_t RunVariant(const dwrs::Workload& w, int k, int s, bool withhold,
+                    uint64_t seed) {
+  dwrs::DistributedWswor sampler(dwrs::WsworConfig{.num_sites = k,
+                                                   .sample_size = s,
+                                                   .seed = seed,
+                                                   .withhold_heavy = withhold});
+  sampler.Run(w);
+  return sampler.stats().total_messages();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dwrs;
+  using namespace dwrs::bench;
+
+  const int k = 16;
+  const int s = 8;
+  Header("E5: level-set withholding ablation  (k=16, s=8)",
+         "withholding heavies bounds messages on adversarial streams");
+
+  Row("%s", "-- adversarial: doubling heavies + bursts of 127 unit items --");
+  Row("%-10s %-16s %-16s %-10s", "n", "with-levels", "no-levels", "ratio");
+  for (uint64_t n : {2000u, 8000u, 32000u}) {
+    const Workload w = DoublingStream(k, n, 127, 500 + n);
+    const uint64_t with_ls = RunVariant(w, k, s, true, 46);
+    const uint64_t without = RunVariant(w, k, s, false, 46);
+    Row("%-10llu %-16llu %-16llu %-10.2f",
+        static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(with_ls),
+        static_cast<unsigned long long>(without),
+        static_cast<double>(without) / static_cast<double>(with_ls));
+  }
+
+  Row("%s", "");
+  Row("%s", "-- benign: uniform weights in [1,16] --");
+  Row("%-10s %-16s %-16s %-10s", "n", "with-levels", "no-levels", "ratio");
+  for (uint64_t n : {2000u, 8000u, 32000u}) {
+    const Workload w = UniformWorkload(k, n, 600 + n);
+    const uint64_t with_ls = RunVariant(w, k, s, true, 47);
+    const uint64_t without = RunVariant(w, k, s, false, 47);
+    Row("%-10llu %-16llu %-16llu %-10.2f",
+        static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(with_ls),
+        static_cast<unsigned long long>(without),
+        static_cast<double>(without) / static_cast<double>(with_ls));
+  }
+  Row("%s", "");
+  Row("%s", "expect: adversarial ratio GROWS with n (no-levels pays ~linear");
+  Row("%s", "messages); on benign streams withholding costs only a bounded");
+  Row("%s", "warm-up (<= 4rs early messages per level), so the ratio is a");
+  Row("%s", "constant that does not grow with n.");
+  return 0;
+}

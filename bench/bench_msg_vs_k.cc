@@ -1,0 +1,31 @@
+// E2 — Theorem 3, message complexity vs number of sites k.
+// Claim: messages grow as k/log(1+k/s) * log(W/s) — slightly sublinear in
+// k once k >> s — while the naive baseline pays k*s*log(W).
+
+#include "bench_util.h"
+#include "util/math_util.h"
+
+int main() {
+  using namespace dwrs;
+  using namespace dwrs::bench;
+
+  const int s = 16;
+  const uint64_t n = 1u << 17;
+  Header("E2: messages vs k  (s=16, n=131072, uniform weights)",
+         "Theorem 3: k log(W/s)/log(1+k/s) growth in k; naive pays k*s*logW");
+  Row("%-8s %-12s %-12s %-12s %-12s %-10s", "k", "ours", "naive",
+      "thm3-bound", "msgs/item", "ours/bound");
+  for (int k : {4, 16, 64, 256, 1024}) {
+    const Workload w = UniformWorkload(k, n, 2000 + k);
+    const double total = w.TotalWeight();
+    const uint64_t ours = RunOurs(w, k, s, 43);
+    const uint64_t naive = RunNaive(w, k, s, 43);
+    const double bound = Theorem3MessageBound(k, s, total);
+    Row("%-8d %-12llu %-12llu %-12.0f %-12.4f %-10.2f", k,
+        static_cast<unsigned long long>(ours),
+        static_cast<unsigned long long>(naive), bound,
+        static_cast<double>(ours) / static_cast<double>(n),
+        static_cast<double>(ours) / bound);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E3 — Theorem 3, message complexity vs sample size s; also sweeps the
+// epoch base r (design-choice ablation).
+// Claim: bound k log(W/s)/log(1+k/s): for s << k the k/log(k/s) regime,
+// for s >= k the s-dominated regime (r=2); crossover near s ~ k.
+
+#include "bench_util.h"
+#include "util/math_util.h"
+
+int main() {
+  using namespace dwrs;
+  using namespace dwrs::bench;
+
+  const int k = 64;
+  const uint64_t n = 1u << 16;
+  Header("E3: messages vs s  (k=64, n=65536, uniform weights)",
+         "Theorem 3 s-dependence; regime change around s ~ k");
+  Row("%-8s %-12s %-12s %-10s %-8s", "s", "ours", "thm3-bound", "ours/bound",
+      "r");
+  for (int s : {1, 4, 16, 64, 256, 1024}) {
+    const Workload w = UniformWorkload(k, n, 3000 + s);
+    const uint64_t ours = RunOurs(w, k, s, 44);
+    const double bound = Theorem3MessageBound(k, s, w.TotalWeight());
+    Row("%-8d %-12llu %-12.0f %-10.2f %-8.2f", s,
+        static_cast<unsigned long long>(ours), bound,
+        static_cast<double>(ours) / bound, EpochBase(k, s));
+  }
+
+  Row("%s", "");
+  Row("%s", "-- ablation: epoch base r override (s=16) --");
+  Row("%-8s %-12s %-16s", "r", "ours", "broadcast-events");
+  for (double r : {2.0, 4.0, 8.0, 32.0, 128.0}) {
+    const Workload w = UniformWorkload(k, n, 3500);
+    DistributedWswor sampler(WsworConfig{.num_sites = k,
+                                         .sample_size = 16,
+                                         .seed = 45,
+                                         .epoch_base = r});
+    sampler.Run(w);
+    Row("%-8.0f %-12llu %-16llu", r,
+        static_cast<unsigned long long>(sampler.stats().total_messages()),
+        static_cast<unsigned long long>(sampler.stats().broadcast_events));
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E1 — Theorem 3, message complexity vs total weight W.
+// Claim: E[msgs] = O(k log(W/s) / log(1+k/s)); the naive baseline grows
+// like k*s*log(W). Expect: "ours" column tracks the bound column by a
+// roughly constant factor and stays far below "naive".
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "util/math_util.h"
+
+int main() {
+  using namespace dwrs;
+  using namespace dwrs::bench;
+
+  const int k = 32;
+  const int s = 16;
+  Header("E1: messages vs W  (k=32, s=16, uniform weights in [1,16])",
+         "Theorem 3: E[msgs] = O(k log(W/s)/log(1+k/s)); naive = k*s*log W");
+  Row("%-12s %-12s %-12s %-12s %-12s %-10s", "n", "W", "ours", "naive",
+      "thm3-bound", "ours/bound");
+  for (uint64_t n = 1u << 12; n <= 1u << 20; n <<= 2) {
+    const Workload w = UniformWorkload(k, n, 1000 + n);
+    const double total = w.TotalWeight();
+    const uint64_t ours = RunOurs(w, k, s, 42);
+    const uint64_t naive = RunNaive(w, k, s, 42);
+    const double bound = Theorem3MessageBound(k, s, total);
+    Row("%-12llu %-12.3g %-12llu %-12llu %-12.0f %-10.2f",
+        static_cast<unsigned long long>(n), total,
+        static_cast<unsigned long long>(ours),
+        static_cast<unsigned long long>(naive), bound,
+        static_cast<double>(ours) / bound);
+  }
+  Row("%s", "");
+  Row("%s", "-- cumulative messages over stream progress (n=2^18) --");
+  Row("%-12s %-12s %-12s %-10s", "prefix", "W-so-far", "messages", "epoch");
+  {
+    const uint64_t n = 1u << 18;
+    const Workload w = UniformWorkload(k, n, 4321);
+    DistributedWswor sampler(
+        WsworConfig{.num_sites = k, .sample_size = s, .seed = 42});
+    double weight = 0.0;
+    uint64_t next_report = 1024;
+    for (uint64_t i = 0; i < w.size(); ++i) {
+      weight += w.event(i).item.weight;
+      sampler.Observe(w.event(i).site, w.event(i).item);
+      if (i + 1 == next_report || i + 1 == n) {
+        Row("%-12llu %-12.3g %-12llu %-10d",
+            static_cast<unsigned long long>(i + 1), weight,
+            static_cast<unsigned long long>(
+                sampler.stats().total_messages()),
+            sampler.coordinator().announced_epoch());
+        next_report *= 4;
+      }
+    }
+  }
+  Row("%s", "");
+  Row("%s", "shape check: each 4x increase in W adds a ~constant number of");
+  Row("%s", "messages for ours (logarithmic growth; epochs advance with");
+  Row("%s", "log W), while naive keeps a ~k*s multiple of that increment.");
+  return 0;
+}

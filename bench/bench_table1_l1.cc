@@ -1,0 +1,74 @@
+// E8 — The Section 5 table ("Table 1"): measured message complexity AND
+// accuracy of the three L1-tracking algorithms against their theory
+// rows, sweeping k across the 1/eps^2 crossover. The paper's claim: for
+// k >= 1/eps^2 our tracker matches the best achievable
+// O(k log(eW)/log k + log(eW)/eps^2) while the [23]-style tracker's
+// accuracy guarantee only holds for k <= 1/eps^2 and the deterministic
+// tracker pays O(k log(W)/eps).
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "l1/deterministic_l1.h"
+#include "l1/l1_tracker.h"
+#include "l1/sqrtk_l1.h"
+
+int main() {
+  using namespace dwrs;
+  using namespace dwrs::bench;
+
+  const double eps = 0.25;  // 1/eps^2 = 16
+  const double delta = 0.2;
+  const uint64_t n = 200000;
+  Header("E8: Section-5 table, L1 tracking  (eps=0.25, 1/eps^2=16, n=200000)",
+         "ours wins for k >= 1/eps^2; [23] loses accuracy out of regime");
+  Row("%-6s | %-9s %-9s %-6s | %-9s %-9s %-6s | %-9s %-9s %-6s", "k",
+      "det[14]", "theory", "err", "hyz[23]", "theory", "err", "ours",
+      "thm6-bnd", "err");
+  for (int k : {4, 16, 64, 256, 1024}) {
+    const Workload w = UniformWorkload(k, n, 1100 + k, 8.0);
+    const double total = w.TotalWeight();
+
+    DeterministicL1Tracker det(k, eps);
+    SqrtkL1Tracker hyz(k, eps, 50);
+    L1Tracker ours(L1TrackerConfig{
+        .num_sites = k, .eps = eps, .delta = delta, .seed = 50});
+
+    double true_weight = 0.0;
+    double err_det = 0.0, err_hyz = 0.0, err_ours = 0.0;
+    const uint64_t warmup = n / 10;
+    for (uint64_t i = 0; i < w.size(); ++i) {
+      const auto& e = w.event(i);
+      true_weight += e.item.weight;
+      det.Observe(e.site, e.item);
+      hyz.Observe(e.site, e.item);
+      ours.Observe(e.site, e.item);
+      if (i < warmup || i % 97 != 0) continue;
+      err_det = std::max(err_det,
+                         std::fabs(det.Estimate() - true_weight) / true_weight);
+      err_hyz = std::max(err_hyz,
+                         std::fabs(hyz.Estimate() - true_weight) / true_weight);
+      err_ours = std::max(
+          err_ours, std::fabs(ours.Estimate() - true_weight) / true_weight);
+    }
+
+    const double det_theory = k * std::log(total / k) / eps;
+    const double hyz_theory =
+        HyzMessageBound(k, eps, total) + k * std::log2(total);
+    const double ours_theory = Theorem6MessageBound(k, eps, delta, total);
+    Row("%-6d | %-9llu %-9.0f %-6.2f | %-9llu %-9.0f %-6.2f | %-9llu %-9.0f "
+        "%-6.2f",
+        k, static_cast<unsigned long long>(det.stats().total_messages()),
+        det_theory, err_det,
+        static_cast<unsigned long long>(hyz.stats().total_messages()),
+        hyz_theory, err_hyz,
+        static_cast<unsigned long long>(ours.stats().total_messages()),
+        ours_theory, err_ours);
+  }
+  Row("%s", "");
+  Row("%s", "expect: det grows ~k/eps with error <= eps always; hyz msgs grow");
+  Row("%s", "~sqrt(k)/eps + k but its error degrades once k >> 1/eps^2 = 16;");
+  Row("%s", "ours keeps error ~eps at every k and overtakes det in messages");
+  Row("%s", "at large k (the k log(eW)/log k regime).");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the experiment harnesses. Every bench prints
+// paper-vs-measured rows so EXPERIMENTS.md can record the comparison.
+
+#ifndef DWRS_BENCH_BENCH_UTIL_H_
+#define DWRS_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+
+#include "dwrs.h"
+
+namespace dwrs::bench {
+
+inline void Header(const char* experiment, const char* claim) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s\n", experiment);
+  std::printf("claim: %s\n", claim);
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline Workload UniformWorkload(int k, uint64_t n, uint64_t seed,
+                                double max_weight = 16.0) {
+  return WorkloadBuilder()
+      .num_sites(k)
+      .num_items(n)
+      .seed(seed)
+      .weights(std::make_unique<UniformWeights>(1.0, max_weight))
+      .partitioner(std::make_unique<RandomPartitioner>())
+      .Build();
+}
+
+inline uint64_t RunOurs(const Workload& w, int k, int s, uint64_t seed) {
+  DistributedWswor sampler(
+      WsworConfig{.num_sites = k, .sample_size = s, .seed = seed});
+  sampler.Run(w);
+  return sampler.stats().total_messages();
+}
+
+inline uint64_t RunNaive(const Workload& w, int k, int s, uint64_t seed) {
+  NaiveDistributedWswor sampler(k, s, seed);
+  sampler.Run(w);
+  return sampler.stats().total_messages();
+}
+
+}  // namespace dwrs::bench
+
+#endif  // DWRS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// BlinkDB-style approximate analytics (the paper's introduction cites
+// [1]): keep one distributed weighted sample of a sales event stream and
+// answer ad-hoc GROUP-BY revenue queries from the sample alone, using
+// the Horvitz-Thompson estimators over the coordinator's top keys.
+//
+//   ./examples/approximate_queries
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dwrs.h"
+
+namespace {
+
+// "Region" dimension of a sale = id % 5.
+const char* kRegions[] = {"NA", "EU", "APAC", "LATAM", "MEA"};
+
+}  // namespace
+
+int main() {
+  using namespace dwrs;
+
+  constexpr int kStores = 32;   // distributed point-of-sale streams
+  constexpr int kSampleSize = 512;
+  constexpr uint64_t kSales = 400000;
+
+  // Pareto revenues (most sales small, a few large).
+  Workload sales = WorkloadBuilder()
+                       .num_sites(kStores)
+                       .num_items(kSales)
+                       .seed(88)
+                       .weights(std::make_unique<ParetoWeights>(1.4))
+                       .partitioner(std::make_unique<RandomPartitioner>())
+                       .Build();
+
+  // Keep s+1 keys so the (s+1)-st is the estimation threshold tau.
+  DistributedWswor sampler(WsworConfig{.num_sites = kStores,
+                                       .sample_size = kSampleSize + 1,
+                                       .seed = 21});
+  std::vector<double> exact_revenue(5, 0.0);
+  std::vector<double> exact_count(5, 0.0);
+  sampler.Run(sales, [&](uint64_t step) {
+    const auto& e = sales.event(step - 1);
+    exact_revenue[e.item.id % 5] += e.item.weight;
+    exact_count[e.item.id % 5] += 1.0;
+  });
+
+  const ThresholdedSample ts = MakeThresholdedSample(sampler.Sample());
+
+  std::printf("SELECT region, SUM(revenue), COUNT(*) FROM sales GROUP BY "
+              "region\n");
+  std::printf("(answered from a %d-item sample of %llu sales; tau=%.3g)\n\n",
+              kSampleSize, static_cast<unsigned long long>(kSales), ts.tau);
+  std::printf("  %-7s %-14s %-14s %-8s %-14s %-14s %-8s\n", "region",
+              "SUM exact", "SUM est", "err", "COUNT exact", "COUNT est",
+              "err");
+  for (int r = 0; r < 5; ++r) {
+    auto in_region = [r](const Item& item) {
+      return static_cast<int>(item.id % 5) == r;
+    };
+    const double sum_est = EstimateSubsetSum(ts, in_region);
+    const double cnt_est = EstimateSubsetCount(ts, in_region);
+    std::printf("  %-7s %-14.4g %-14.4g %-8.2f%% %-14.0f %-14.0f %-8.2f%%\n",
+                kRegions[r], exact_revenue[r], sum_est,
+                100.0 * std::fabs(sum_est - exact_revenue[r]) /
+                    exact_revenue[r],
+                exact_count[r], cnt_est,
+                100.0 * std::fabs(cnt_est - exact_count[r]) / exact_count[r]);
+  }
+
+  std::printf("\nNetwork cost: %llu messages for %llu rows (%.2f%%)\n",
+              static_cast<unsigned long long>(
+                  sampler.stats().total_messages()),
+              static_cast<unsigned long long>(kSales),
+              100.0 * static_cast<double>(sampler.stats().total_messages()) /
+                  static_cast<double>(kSales));
+  return 0;
+}

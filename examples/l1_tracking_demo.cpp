@@ -1,0 +1,70 @@
+// Count (L1) tracking demo (Section 5): the coordinator maintains a
+// (1 +/- eps) estimate of the total weight at all times. Compares the
+// paper's SWOR-based tracker against the deterministic and the
+// sqrt(k)-randomized baselines, on accuracy and message cost.
+//
+//   ./examples/l1_tracking_demo
+
+#include <cmath>
+#include <cstdio>
+
+#include "dwrs.h"
+
+int main() {
+  using namespace dwrs;
+
+  constexpr int kSites = 36;
+  constexpr double kEps = 0.15;  // 1/eps^2 = 44 > k: sqrt(k) tracker in regime
+  constexpr double kDelta = 0.2;
+  constexpr uint64_t kItems = 50000;
+
+  Workload stream = WorkloadBuilder()
+                        .num_sites(kSites)
+                        .num_items(kItems)
+                        .seed(314)
+                        .weights(std::make_unique<UniformWeights>(1.0, 50.0))
+                        .partitioner(std::make_unique<RandomPartitioner>())
+                        .Build();
+
+  L1Tracker ours(L1TrackerConfig{kSites, kEps, kDelta, /*seed=*/17});
+  DeterministicL1Tracker det(kSites, kEps);
+  SqrtkL1Tracker hyz(kSites, kEps, /*seed=*/17);
+
+  double true_weight = 0.0;
+  double worst_ours = 0.0, worst_det = 0.0, worst_hyz = 0.0;
+  const uint64_t warmup = kItems / 10;  // skip the first 10% of steps
+  std::printf("checkpoint  true-W       ours         det          sqrt-k\n");
+  for (uint64_t i = 0; i < stream.size(); ++i) {
+    const auto& e = stream.event(i);
+    true_weight += e.item.weight;
+    ours.Observe(e.site, e.item);
+    det.Observe(e.site, e.item);
+    hyz.Observe(e.site, e.item);
+    if (i < warmup) continue;
+    const double ro = std::fabs(ours.Estimate() - true_weight) / true_weight;
+    const double rd = std::fabs(det.Estimate() - true_weight) / true_weight;
+    const double rh = std::fabs(hyz.Estimate() - true_weight) / true_weight;
+    worst_ours = std::max(worst_ours, ro);
+    worst_det = std::max(worst_det, rd);
+    worst_hyz = std::max(worst_hyz, rh);
+    if ((i + 1) % (kItems / 10) == 0) {
+      std::printf("%-11llu %-12.4g %-12.4g %-12.4g %-12.4g\n",
+                  static_cast<unsigned long long>(i + 1), true_weight,
+                  ours.Estimate(), det.Estimate(), hyz.Estimate());
+    }
+  }
+
+  std::printf("\nWorst relative error after warm-up (target eps=%.2f):\n",
+              kEps);
+  std::printf("  ours (Thm 6)       : %.4f   %llu messages\n", worst_ours,
+              static_cast<unsigned long long>(ours.stats().total_messages()));
+  std::printf("  deterministic      : %.4f   %llu messages\n", worst_det,
+              static_cast<unsigned long long>(det.stats().total_messages()));
+  std::printf("  sqrt(k) randomized : %.4f   %llu messages\n", worst_hyz,
+              static_cast<unsigned long long>(hyz.stats().total_messages()));
+  std::printf(
+      "\nAt this modest k the deterministic tracker is cheapest; the\n"
+      "SWOR-based tracker takes over for k >> 1/eps^2 — see\n"
+      "bench/bench_table1_l1 for the crossover sweep.\n");
+  return 0;
+}

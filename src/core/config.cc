@@ -1,0 +1,27 @@
+#include "core/config.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dwrs {
+
+double WsworConfig::ResolvedEpochBase() const {
+  DWRS_CHECK_GT(num_sites, 0);
+  DWRS_CHECK_GT(sample_size, 0);
+  if (epoch_base > 0.0) {
+    DWRS_CHECK_GE(epoch_base, 2.0);
+    return epoch_base;
+  }
+  return EpochBase(num_sites, sample_size);
+}
+
+uint64_t WsworConfig::LevelCapacity() const {
+  DWRS_CHECK_GT(level_capacity_factor, 0);
+  const double capacity = std::ceil(level_capacity_factor *
+                                    ResolvedEpochBase() * sample_size);
+  return static_cast<uint64_t>(capacity);
+}
+
+}  // namespace dwrs

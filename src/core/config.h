@@ -1,0 +1,50 @@
+// Configuration of the distributed weighted SWOR protocol (Section 3).
+
+#ifndef DWRS_CORE_CONFIG_H_
+#define DWRS_CORE_CONFIG_H_
+
+#include <cstdint>
+
+namespace dwrs {
+
+struct WsworConfig {
+  int num_sites = 4;    // k
+  int sample_size = 16; // s
+  uint64_t seed = 1;
+
+  // Epoch / level base r; 0 selects the paper's r = max{2, k/s}.
+  double epoch_base = 0.0;
+
+  // A level set saturates after level_capacity_factor * r * s items (the
+  // paper uses 4rs).
+  int level_capacity_factor = 4;
+
+  // Level-set withholding of heavy items (Definition 4). Disabling it
+  // yields the plain precision-sampling protocol — used both by the E5
+  // ablation and by the L1 tracker, which removes heavies by duplication
+  // instead (Section 5).
+  bool withhold_heavy = true;
+
+  // Extra delivery delay in stream steps for every message (0 = delivered
+  // before the next item); exercises robustness to in-flight messages.
+  int delivery_delay = 0;
+  // When nonzero, each message's delay is drawn uniformly from
+  // [0, delivery_delay] (per-channel FIFO preserved) — an adversarial
+  // jittering network.
+  uint64_t jitter_seed = 0;
+
+  double ResolvedEpochBase() const;
+  uint64_t LevelCapacity() const;
+};
+
+// Message type tags of the weighted SWOR protocol.
+enum WsworMessageType : uint32_t {
+  kWsworEarly = 1,           // site -> coord: (id, weight)
+  kWsworRegular = 2,         // site -> coord: (id, weight, key)
+  kWsworLevelSaturated = 3,  // coord -> all sites: (level)
+  kWsworUpdateEpoch = 4,     // coord -> all sites: (threshold r^j)
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_CORE_CONFIG_H_

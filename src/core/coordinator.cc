@@ -1,0 +1,92 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+
+#include "random/distributions.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dwrs {
+
+WsworCoordinator::WsworCoordinator(const WsworConfig& config,
+                                   sim::Network* network, uint64_t seed)
+    : config_(config),
+      base_(config.ResolvedEpochBase()),
+      network_(network),
+      rng_(seed),
+      sample_(static_cast<size_t>(config.sample_size)),
+      levels_(base_, config.LevelCapacity(),
+              static_cast<size_t>(config.sample_size)) {
+  DWRS_CHECK(network != nullptr);
+}
+
+void WsworCoordinator::AddToSample(const Item& item, double key) {
+  sample_.Offer(key, item);
+  MaybeAnnounceEpoch();
+}
+
+void WsworCoordinator::MaybeAnnounceEpoch() {
+  const double u = sample_.ThresholdOrZero();
+  if (u < 1.0) return;
+  const int epoch = FloorLogBase(u, base_);
+  if (epoch <= announced_epoch_) return;
+  announced_epoch_ = epoch;
+  sim::Payload msg;
+  msg.type = kWsworUpdateEpoch;
+  msg.x = PowInt(base_, epoch);
+  msg.words = 2;
+  network_->Broadcast(msg);
+}
+
+void WsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
+  switch (msg.type) {
+    case kWsworEarly: {
+      ++early_received_;
+      Item item{msg.a, msg.x};
+      // Algorithm 2: the coordinator draws the key of an early item on
+      // arrival; it participates in queries from D until its level
+      // saturates.
+      const double key = item.weight / Exponential(rng_);
+      int saturated_level = -1;
+      std::vector<KeyedItem> released =
+          levels_.AddEarly(item, key, &saturated_level);
+      for (const KeyedItem& ki : released) AddToSample(ki.item, ki.key);
+      if (saturated_level >= 0) {
+        sim::Payload note;
+        note.type = kWsworLevelSaturated;
+        note.a = static_cast<uint64_t>(saturated_level);
+        note.words = 2;
+        network_->Broadcast(note);
+      }
+      break;
+    }
+    case kWsworRegular: {
+      ++regular_received_;
+      // The heap applies the v > u filter of Algorithm 2 line 19 (the
+      // site filtered by a possibly stale epoch threshold).
+      AddToSample(Item{msg.a, msg.x}, msg.y);
+      break;
+    }
+    default:
+      DWRS_CHECK(false) << " unexpected message type " << msg.type;
+  }
+}
+
+std::vector<KeyedItem> WsworCoordinator::Sample() const {
+  std::vector<KeyedItem> merged;
+  merged.reserve(sample_.size() + levels_.StoredEntries());
+  for (const auto& e : sample_.entries()) {
+    merged.push_back(KeyedItem{e.value, e.key});
+  }
+  for (const KeyedItem& ki : levels_.WithheldEntries()) merged.push_back(ki);
+  std::sort(merged.begin(), merged.end(),
+            [](const KeyedItem& a, const KeyedItem& b) {
+              return a.key > b.key;
+            });
+  if (merged.size() > static_cast<size_t>(config_.sample_size)) {
+    merged.resize(static_cast<size_t>(config_.sample_size));
+  }
+  return merged;
+}
+
+}  // namespace dwrs

@@ -1,0 +1,67 @@
+// Coordinator-side protocol of the weighted SWOR sampler (paper
+// Algorithms 2 and 3): maintains the top-s sample S, the level sets D_j,
+// the epoch threshold u, and answers continuous sample queries with the
+// top-s keys of S ∪ D.
+
+#ifndef DWRS_CORE_COORDINATOR_H_
+#define DWRS_CORE_COORDINATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/level_sets.h"
+#include "random/rng.h"
+#include "sampling/keyed_item.h"
+#include "sampling/top_key_heap.h"
+#include "sim/runtime.h"
+
+namespace dwrs {
+
+class WsworCoordinator : public sim::CoordinatorNode {
+ public:
+  WsworCoordinator(const WsworConfig& config, sim::Network* network,
+                   uint64_t seed);
+
+  void OnMessage(int site, const sim::Payload& msg) override;
+
+  // The continuously maintained weighted SWOR: top-s keys of S ∪ D,
+  // descending by key; fewer than s entries only while fewer than s items
+  // have been observed.
+  std::vector<KeyedItem> Sample() const;
+
+  // u: s-th largest key among sampled (regular + released) items.
+  double Threshold() const { return sample_.ThresholdOrZero(); }
+
+  // Announced epoch (-1 until u >= 1).
+  int announced_epoch() const { return announced_epoch_; }
+
+  // Space audit (Proposition 6): total stored (item, key) entries.
+  size_t StoredEntries() const {
+    return sample_.size() + levels_.StoredEntries();
+  }
+
+  uint64_t early_received() const { return early_received_; }
+  uint64_t regular_received() const { return regular_received_; }
+
+  const LevelSetManager& levels() const { return levels_; }
+
+ private:
+  void AddToSample(const Item& item, double key);
+  void MaybeAnnounceEpoch();
+
+  const WsworConfig config_;
+  const double base_;
+  sim::Network* network_;
+  Rng rng_;
+  TopKeyHeap<Item> sample_;  // S
+  LevelSetManager levels_;   // D with Prop. 6 compaction
+  int announced_epoch_ = -1;
+  uint64_t early_received_ = 0;
+  uint64_t regular_received_ = 0;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_CORE_COORDINATOR_H_

@@ -1,0 +1,74 @@
+#include "core/level_sets.h"
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dwrs {
+
+LevelSetManager::LevelSetManager(double level_base, uint64_t capacity,
+                                 size_t top_keys)
+    : level_base_(level_base), capacity_(capacity), heap_(top_keys) {
+  DWRS_CHECK_GE(level_base, 2.0);
+  DWRS_CHECK_GT(capacity, 0u);
+}
+
+int LevelSetManager::LevelOf(double weight) const {
+  DWRS_CHECK_GT(weight, 0.0);
+  return FloorLogBase(weight, level_base_);
+}
+
+bool LevelSetManager::IsSaturated(int level) const {
+  DWRS_CHECK_GE(level, 0);
+  if (static_cast<size_t>(level) >= saturated_.size()) return false;
+  return saturated_[static_cast<size_t>(level)] != 0;
+}
+
+std::vector<KeyedItem> LevelSetManager::AddEarly(const Item& item, double key,
+                                                 int* saturated_level) {
+  const int level = LevelOf(item.weight);
+  const size_t idx = static_cast<size_t>(level);
+  if (idx >= counts_.size()) {
+    counts_.resize(idx + 1, 0);
+    saturated_.resize(idx + 1, 0);
+  }
+  *saturated_level = -1;
+
+  if (saturated_[idx] != 0) {
+    // A site sent this before hearing the saturation broadcast (possible
+    // with delivery delay); the caller releases it directly.
+    return {KeyedItem{item, key}};
+  }
+
+  ++counts_[idx];
+  heap_.Offer(key, Withheld{item, level});
+
+  if (counts_[idx] < capacity_) return {};
+
+  // Level saturates now: release every stored entry of this level.
+  saturated_[idx] = 1;
+  *saturated_level = level;
+  std::vector<KeyedItem> released;
+  for (auto& e : heap_.ExtractIf([level](const TopKeyHeap<Withheld>::Entry& e) {
+         return e.value.level == level;
+       })) {
+    released.push_back(KeyedItem{e.value.item, e.key});
+  }
+  return released;
+}
+
+std::vector<KeyedItem> LevelSetManager::WithheldEntries() const {
+  std::vector<KeyedItem> out;
+  out.reserve(heap_.size());
+  for (const auto& e : heap_.entries()) {
+    out.push_back(KeyedItem{e.value.item, e.key});
+  }
+  return out;
+}
+
+uint64_t LevelSetManager::CountInLevel(int level) const {
+  DWRS_CHECK_GE(level, 0);
+  if (static_cast<size_t>(level) >= counts_.size()) return 0;
+  return counts_[static_cast<size_t>(level)];
+}
+
+}  // namespace dwrs

@@ -1,0 +1,65 @@
+// Coordinator-side level set machinery (Definition 4, Lemma 1) with the
+// O(s)-space compaction of Proposition 6: only the withheld items whose
+// keys rank in the global top-s among withheld items are stored — the
+// rest can never appear in any output sample — together with an O(1)-word
+// counter per level.
+
+#ifndef DWRS_CORE_LEVEL_SETS_H_
+#define DWRS_CORE_LEVEL_SETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sampling/keyed_item.h"
+#include "sampling/top_key_heap.h"
+#include "stream/item.h"
+
+namespace dwrs {
+
+class LevelSetManager {
+ public:
+  // `level_base` is r; a level saturates once `capacity` items arrived in
+  // it; `top_keys` is s, the number of withheld entries worth storing.
+  LevelSetManager(double level_base, uint64_t capacity, size_t top_keys);
+
+  // The level of a weight (Definition 4).
+  int LevelOf(double weight) const;
+
+  bool IsSaturated(int level) const;
+
+  // Records the arrival of an early item with its already-generated key.
+  // If this arrival saturates the item's level, marks it saturated and
+  // returns the stored entries of that level for release into the sample;
+  // otherwise returns empty. `*saturated_level` is set to the level that
+  // saturated, or -1.
+  std::vector<KeyedItem> AddEarly(const Item& item, double key,
+                                  int* saturated_level);
+
+  // Withheld entries currently stored (keys included) — the D-side
+  // candidates merged into every query answer.
+  std::vector<KeyedItem> WithheldEntries() const;
+
+  uint64_t CountInLevel(int level) const;
+  uint64_t capacity() const { return capacity_; }
+
+  // Space audit: number of stored (item, key) entries; Proposition 6
+  // promises this stays <= s.
+  size_t StoredEntries() const { return heap_.size(); }
+
+ private:
+  struct Withheld {
+    Item item;
+    int level;
+  };
+
+  double level_base_;
+  uint64_t capacity_;
+  std::vector<uint64_t> counts_;    // per level
+  std::vector<uint8_t> saturated_;  // per level
+  TopKeyHeap<Withheld> heap_;       // top-s keys among withheld items
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_CORE_LEVEL_SETS_H_

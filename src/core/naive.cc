@@ -1,0 +1,77 @@
+#include "core/naive.h"
+
+#include "random/distributions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+NaiveWsworSite::NaiveWsworSite(int sample_size, int site_index,
+                               sim::Network* network, uint64_t seed)
+    : site_index_(site_index),
+      network_(network),
+      rng_(seed),
+      local_top_(static_cast<size_t>(sample_size)) {
+  DWRS_CHECK(network != nullptr);
+}
+
+void NaiveWsworSite::OnItem(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  const double key = item.weight / Exponential(rng_);
+  if (!local_top_.Offer(key, item)) return;
+  sim::Payload msg;
+  msg.type = kNaiveCandidate;
+  msg.a = item.id;
+  msg.x = item.weight;
+  msg.y = key;
+  msg.words = 4;
+  network_->SendToCoordinator(site_index_, msg);
+}
+
+void NaiveWsworSite::OnMessage(const sim::Payload& msg) {
+  DWRS_CHECK(false) << " naive sites never receive messages, got type "
+                    << msg.type;
+}
+
+NaiveWsworCoordinator::NaiveWsworCoordinator(int sample_size)
+    : sample_(static_cast<size_t>(sample_size)) {}
+
+void NaiveWsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
+  DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kNaiveCandidate));
+  sample_.Offer(msg.y, Item{msg.a, msg.x});
+}
+
+std::vector<KeyedItem> NaiveWsworCoordinator::Sample() const {
+  std::vector<KeyedItem> out;
+  for (const auto& e : sample_.SortedDescending()) {
+    out.push_back(KeyedItem{e.value, e.key});
+  }
+  return out;
+}
+
+NaiveDistributedWswor::NaiveDistributedWswor(int num_sites, int sample_size,
+                                             uint64_t seed)
+    : runtime_(num_sites) {
+  Rng master(seed);
+  sites_.reserve(static_cast<size_t>(num_sites));
+  for (int i = 0; i < num_sites; ++i) {
+    sites_.push_back(std::make_unique<NaiveWsworSite>(
+        sample_size, i, &runtime_.network(), master.NextU64()));
+    runtime_.AttachSite(i, sites_.back().get());
+  }
+  coordinator_ = std::make_unique<NaiveWsworCoordinator>(sample_size);
+  runtime_.AttachCoordinator(coordinator_.get());
+}
+
+void NaiveDistributedWswor::Observe(int site, const Item& item) {
+  runtime_.Deliver(WorkloadEvent{site, item});
+}
+
+void NaiveDistributedWswor::Run(
+    const Workload& workload, const std::function<void(uint64_t)>& on_step) {
+  for (uint64_t i = 0; i < workload.size(); ++i) {
+    Observe(workload.event(i).site, workload.event(i).item);
+    if (on_step) on_step(i + 1);
+  }
+}
+
+}  // namespace dwrs

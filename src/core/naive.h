@@ -1,0 +1,75 @@
+// The naive distributed weighted SWOR baseline from Section 1.2: every
+// site runs an independent top-s key sampler and forwards each item that
+// enters its local top-s; the coordinator keeps the global top-s. Output
+// distribution is exact, but message complexity is Θ(k·s·log(W)) instead
+// of the additive O~(k + s) of the paper's algorithm.
+
+#ifndef DWRS_CORE_NAIVE_H_
+#define DWRS_CORE_NAIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "random/rng.h"
+#include "sampling/keyed_item.h"
+#include "sampling/top_key_heap.h"
+#include "sim/runtime.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+
+// Message tags of the naive protocol.
+enum NaiveMessageType : uint32_t {
+  kNaiveCandidate = 1,  // site -> coord: (id, weight, key)
+};
+
+class NaiveWsworSite : public sim::SiteNode {
+ public:
+  NaiveWsworSite(int sample_size, int site_index, sim::Network* network,
+                 uint64_t seed);
+
+  void OnItem(const Item& item) override;
+  void OnMessage(const sim::Payload& msg) override;
+
+ private:
+  int site_index_;
+  sim::Network* network_;
+  Rng rng_;
+  TopKeyHeap<Item> local_top_;
+};
+
+class NaiveWsworCoordinator : public sim::CoordinatorNode {
+ public:
+  explicit NaiveWsworCoordinator(int sample_size);
+
+  void OnMessage(int site, const sim::Payload& msg) override;
+
+  std::vector<KeyedItem> Sample() const;
+
+ private:
+  TopKeyHeap<Item> sample_;
+};
+
+// Facade mirroring DistributedWswor.
+class NaiveDistributedWswor {
+ public:
+  NaiveDistributedWswor(int num_sites, int sample_size, uint64_t seed);
+
+  void Observe(int site, const Item& item);
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr);
+
+  std::vector<KeyedItem> Sample() const { return coordinator_->Sample(); }
+  const sim::MessageStats& stats() const { return runtime_.stats(); }
+
+ private:
+  sim::Runtime runtime_;
+  std::vector<std::unique_ptr<NaiveWsworSite>> sites_;
+  std::unique_ptr<NaiveWsworCoordinator> coordinator_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_CORE_NAIVE_H_

@@ -1,0 +1,78 @@
+#include "core/site.h"
+
+#include <limits>
+
+#include "random/lazy_exponential.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dwrs {
+
+WsworSite::WsworSite(const WsworConfig& config, int site_index,
+                     sim::Network* network, uint64_t seed)
+    : config_(config),
+      site_index_(site_index),
+      level_base_(config.ResolvedEpochBase()),
+      network_(network),
+      rng_(seed) {
+  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(site_index >= 0 && site_index < config.num_sites);
+}
+
+int WsworSite::LevelOf(double weight) const {
+  return FloorLogBase(weight, level_base_);
+}
+
+void WsworSite::OnItem(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  if (config_.withhold_heavy) {
+    const int level = LevelOf(item.weight);
+    const bool saturated =
+        static_cast<size_t>(level) < saturated_.size() &&
+        saturated_[static_cast<size_t>(level)] != 0;
+    if (!saturated) {
+      sim::Payload msg;
+      msg.type = kWsworEarly;
+      msg.a = item.id;
+      msg.x = item.weight;
+      msg.words = 3;
+      network_->SendToCoordinator(site_index_, msg);
+      return;
+    }
+  }
+  // Regular path: lazily decide whether v = w/t beats the threshold, i.e.
+  // whether t < w / u. With u = 0 every key qualifies.
+  const double bound = threshold_ > 0.0
+                           ? item.weight / threshold_
+                           : std::numeric_limits<double>::infinity();
+  const LazyExpDecision decision = DecideExponentialBelow(rng_, bound);
+  ++keys_decided_;
+  key_bits_consumed_ += static_cast<uint64_t>(decision.bits_consumed);
+  if (!decision.below_bound) return;
+  sim::Payload msg;
+  msg.type = kWsworRegular;
+  msg.a = item.id;
+  msg.x = item.weight;
+  msg.y = item.weight / decision.value;
+  msg.words = 4;
+  network_->SendToCoordinator(site_index_, msg);
+}
+
+void WsworSite::OnMessage(const sim::Payload& msg) {
+  switch (msg.type) {
+    case kWsworLevelSaturated: {
+      const size_t level = static_cast<size_t>(msg.a);
+      if (level >= saturated_.size()) saturated_.resize(level + 1, 0);
+      saturated_[level] = 1;
+      break;
+    }
+    case kWsworUpdateEpoch:
+      // Thresholds only ever grow; ignore stale reordered announcements.
+      if (msg.x > threshold_) threshold_ = msg.x;
+      break;
+    default:
+      DWRS_CHECK(false) << " unexpected message type " << msg.type;
+  }
+}
+
+}  // namespace dwrs

@@ -1,0 +1,53 @@
+// Site-side protocol of the weighted SWOR sampler (paper Algorithm 1).
+//
+// Per item the site:
+//   1. computes the item's level; if the level is not yet saturated (and
+//      withholding is enabled) it forwards the item as an "early" message
+//      without generating a key;
+//   2. otherwise draws the key v = w / Exp(1) lazily (Proposition 7) and
+//      forwards (e, w, v) only when v exceeds the current epoch threshold.
+
+#ifndef DWRS_CORE_SITE_H_
+#define DWRS_CORE_SITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "random/rng.h"
+#include "sim/runtime.h"
+#include "stream/item.h"
+
+namespace dwrs {
+
+class WsworSite : public sim::SiteNode {
+ public:
+  WsworSite(const WsworConfig& config, int site_index, sim::Network* network,
+            uint64_t seed);
+
+  void OnItem(const Item& item) override;
+  void OnMessage(const sim::Payload& msg) override;
+
+  double threshold() const { return threshold_; }
+
+  // Proposition 7 instrumentation.
+  uint64_t keys_decided() const { return keys_decided_; }
+  uint64_t key_bits_consumed() const { return key_bits_consumed_; }
+
+ private:
+  int LevelOf(double weight) const;
+
+  const WsworConfig config_;
+  const int site_index_;
+  const double level_base_;
+  sim::Network* network_;
+  Rng rng_;
+  double threshold_ = 0.0;           // u_i, the announced epoch threshold
+  std::vector<uint8_t> saturated_;   // per-level flags
+  uint64_t keys_decided_ = 0;
+  uint64_t key_bits_consumed_ = 0;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_CORE_SITE_H_

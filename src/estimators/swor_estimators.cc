@@ -1,0 +1,52 @@
+#include "estimators/swor_estimators.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+ThresholdedSample MakeThresholdedSample(std::vector<KeyedItem> top) {
+  ThresholdedSample out;
+  for (size_t i = 1; i < top.size(); ++i) {
+    DWRS_CHECK_GE(top[i - 1].key, top[i].key) << " keys must be descending";
+  }
+  if (top.empty()) return out;
+  out.tau = top.back().key;
+  top.pop_back();
+  out.top = std::move(top);
+  return out;
+}
+
+double InclusionProbability(double weight, double tau) {
+  DWRS_CHECK_GT(weight, 0.0);
+  if (tau <= 0.0) return 1.0;
+  return -std::expm1(-weight / tau);
+}
+
+double EstimateSubsetSum(const ThresholdedSample& sample,
+                         const std::function<bool(const Item&)>& pred) {
+  double estimate = 0.0;
+  for (const KeyedItem& ki : sample.top) {
+    if (!pred(ki.item)) continue;
+    estimate += ki.item.weight / InclusionProbability(ki.item.weight,
+                                                      sample.tau);
+  }
+  return estimate;
+}
+
+double EstimateTotalWeight(const ThresholdedSample& sample) {
+  return EstimateSubsetSum(sample, [](const Item&) { return true; });
+}
+
+double EstimateSubsetCount(const ThresholdedSample& sample,
+                           const std::function<bool(const Item&)>& pred) {
+  double estimate = 0.0;
+  for (const KeyedItem& ki : sample.top) {
+    if (!pred(ki.item)) continue;
+    estimate += 1.0 / InclusionProbability(ki.item.weight, sample.tau);
+  }
+  return estimate;
+}
+
+}  // namespace dwrs

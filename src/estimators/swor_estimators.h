@@ -1,0 +1,50 @@
+// Estimators on top of weighted SWOR samples with exponential keys.
+//
+// Conditioning on the (s+1)-st largest key tau, the events {item i is
+// among the top-s} are independent with probability
+//   P(w_i / Exp > tau) = 1 - exp(-w_i / tau),
+// which yields Horvitz-Thompson style unbiased estimators for arbitrary
+// subset sums — precision sampling's original use (Section 1.2; cf.
+// priority sampling [17] and bottom-k sketches). This is how downstream
+// users turn the coordinator's sample into aggregates.
+
+#ifndef DWRS_ESTIMATORS_SWOR_ESTIMATORS_H_
+#define DWRS_ESTIMATORS_SWOR_ESTIMATORS_H_
+
+#include <functional>
+#include <vector>
+
+#include "sampling/keyed_item.h"
+
+namespace dwrs {
+
+// A sample of the top s+1 keys: the first s entries are the estimation
+// sample; the last entry's key is the threshold tau.
+struct ThresholdedSample {
+  std::vector<KeyedItem> top;  // keys descending, size s
+  double tau = 0.0;            // (s+1)-st key; 0 => fewer than s+1 items seen
+};
+
+// Splits a (s+1)-sized keyed sample (keys descending) into sample + tau.
+// If fewer than s+1 entries are supplied, tau = 0 and estimates are exact
+// sums over the (complete) sample.
+ThresholdedSample MakeThresholdedSample(std::vector<KeyedItem> top_s_plus_1);
+
+// Inclusion probability of weight w given threshold tau.
+double InclusionProbability(double weight, double tau);
+
+// Unbiased estimate of the total weight of items matching `pred`.
+double EstimateSubsetSum(const ThresholdedSample& sample,
+                         const std::function<bool(const Item&)>& pred);
+
+// Unbiased estimate of the full stream weight (pred == everything).
+double EstimateTotalWeight(const ThresholdedSample& sample);
+
+// Estimate of the number of stream items matching `pred` (each sampled
+// item contributes 1/p_i instead of w_i/p_i).
+double EstimateSubsetCount(const ThresholdedSample& sample,
+                           const std::function<bool(const Item&)>& pred);
+
+}  // namespace dwrs
+
+#endif  // DWRS_ESTIMATORS_SWOR_ESTIMATORS_H_

@@ -1,0 +1,52 @@
+#include "hh/exact_hh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+double ResidualWeight(const std::vector<double>& weights, uint64_t drop_top) {
+  if (drop_top >= weights.size()) return 0.0;
+  std::vector<double> sorted = weights;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(drop_top),
+                   sorted.end(), std::greater<double>());
+  double residual = 0.0;
+  for (size_t i = drop_top; i < sorted.size(); ++i) residual += sorted[i];
+  return residual;
+}
+
+std::vector<uint64_t> ExactHeavyHitters(const std::vector<double>& weights,
+                                        double eps) {
+  DWRS_CHECK_GT(eps, 0.0);
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double threshold = eps * total;
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] >= threshold) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<uint64_t> ExactResidualHeavyHitters(
+    const std::vector<double>& weights, double eps) {
+  DWRS_CHECK_GT(eps, 0.0);
+  const uint64_t drop = static_cast<uint64_t>(std::ceil(1.0 / eps));
+  const double residual = ResidualWeight(weights, drop);
+  const double threshold = eps * residual;
+  std::vector<uint64_t> out;
+  if (residual == 0.0) {
+    // Degenerate: everything outside the top-1/eps is zero; only the
+    // dropped coordinates themselves exceed any positive threshold.
+    return out;
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] >= threshold) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace dwrs

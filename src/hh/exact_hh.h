@@ -1,0 +1,27 @@
+// Offline oracles for the heavy-hitter definitions of Section 4: exact
+// epsilon-heavy hitters (Definition 5) and exact residual heavy hitters
+// (Definition 6), computed from the full weight vector. Ground truth for
+// tests and benches.
+
+#ifndef DWRS_HH_EXACT_HH_H_
+#define DWRS_HH_EXACT_HH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dwrs {
+
+// ||x_tail(t)||_1: total weight with the t largest coordinates removed.
+double ResidualWeight(const std::vector<double>& weights, uint64_t drop_top);
+
+// Indices i with w_i >= eps * ||x||_1 (Definition 5).
+std::vector<uint64_t> ExactHeavyHitters(const std::vector<double>& weights,
+                                        double eps);
+
+// Indices i with w_i >= eps * ||x_tail(1/eps)||_1 (Definition 6).
+std::vector<uint64_t> ExactResidualHeavyHitters(
+    const std::vector<double>& weights, double eps);
+
+}  // namespace dwrs
+
+#endif  // DWRS_HH_EXACT_HH_H_

@@ -1,0 +1,86 @@
+// Weighted Misra-Gries summary and a periodic-merge distributed heavy
+// hitter baseline. Misra-Gries(c) underestimates each id's weight by at
+// most W/(c+1) and summaries merge by counter addition + decrement —
+// the classical deterministic alternative that E7 compares against
+// (deterministic, but no residual guarantee and message cost linear in
+// the number of synchronization rounds).
+
+#ifndef DWRS_HH_MISRA_GRIES_H_
+#define DWRS_HH_MISRA_GRIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/runtime.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+
+class MisraGries {
+ public:
+  explicit MisraGries(size_t capacity);
+
+  void Add(uint64_t id, double weight);
+
+  // Merges another summary into this one (counter addition followed by
+  // re-compaction to capacity).
+  void Merge(const MisraGries& other);
+
+  // Lower-bound estimate (0 if untracked).
+  double EstimateOf(uint64_t id) const;
+
+  // Max underestimation of any id.
+  double error_bound() const { return decremented_; }
+
+  struct Entry {
+    uint64_t id;
+    double count;
+  };
+  // Entries sorted by count descending.
+  std::vector<Entry> Entries() const;
+
+  size_t capacity() const { return capacity_; }
+  double total_weight() const { return total_weight_; }
+
+ private:
+  void CompactToCapacity();
+
+  size_t capacity_;
+  double total_weight_ = 0.0;
+  double decremented_ = 0.0;  // cumulative decrement = max underestimate
+  std::unordered_map<uint64_t, double> counters_;
+};
+
+// Distributed heavy hitters by periodic Misra-Gries merging: every site
+// keeps a local MG summary and ships it to the coordinator every
+// `sync_every` local items (message cost = capacity words per sync).
+class DistributedMgHh {
+ public:
+  DistributedMgHh(int num_sites, size_t capacity, uint64_t sync_every);
+  ~DistributedMgHh();  // out-of-line: Site/Coordinator are incomplete here
+
+  void Observe(int site, const Item& item);
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr);
+
+  // Ids whose merged estimate is >= eps * (coordinator's known weight).
+  std::vector<Item> HeavyHitters(double eps) const;
+
+  const sim::MessageStats& stats() const { return runtime_.stats(); }
+
+ private:
+  class Site;
+  class Coordinator;
+
+  sim::Runtime runtime_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::unique_ptr<Coordinator> coordinator_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_HH_MISRA_GRIES_H_

@@ -1,0 +1,61 @@
+#include "hh/residual_hh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dwrs {
+namespace {
+
+WsworConfig MakeSamplerConfig(const ResidualHhConfig& config,
+                              int sample_size) {
+  WsworConfig out;
+  out.num_sites = config.num_sites;
+  out.sample_size = sample_size;
+  out.seed = config.seed;
+  out.delivery_delay = config.delivery_delay;
+  return out;
+}
+
+}  // namespace
+
+int ResidualHeavyHitterTracker::RequiredSampleSize(double eps, double delta) {
+  DWRS_CHECK(eps > 0.0 && eps < 1.0);
+  DWRS_CHECK(delta > 0.0 && delta < 1.0);
+  const double s = std::ceil(6.0 * std::log(1.0 / (eps * delta)) / eps);
+  return std::max(1, static_cast<int>(s));
+}
+
+ResidualHeavyHitterTracker::ResidualHeavyHitterTracker(
+    const ResidualHhConfig& config)
+    : config_(config),
+      sample_size_(RequiredSampleSize(config.eps, config.delta)),
+      sampler_(MakeSamplerConfig(config, sample_size_)) {}
+
+std::vector<Item> ResidualHeavyHitterTracker::HeavyHitters() const {
+  std::vector<KeyedItem> sample = sampler_.Sample();
+  std::sort(sample.begin(), sample.end(),
+            [](const KeyedItem& a, const KeyedItem& b) {
+              return a.item.weight > b.item.weight;
+            });
+  const size_t limit =
+      static_cast<size_t>(std::ceil(2.0 / config_.eps));
+  std::vector<Item> out;
+  out.reserve(std::min(limit, sample.size()));
+  for (size_t i = 0; i < sample.size() && i < limit; ++i) {
+    out.push_back(sample[i].item);
+  }
+  return out;
+}
+
+double Theorem4MessageBound(int num_sites, double eps, double delta,
+                            double total_weight) {
+  const double k = num_sites;
+  const double log_w = std::log(std::max(2.0, eps * total_weight));
+  return (k / std::log(std::max(2.0, k)) +
+          std::log(1.0 / (eps * delta)) / eps) *
+         log_w;
+}
+
+}  // namespace dwrs

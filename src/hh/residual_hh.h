@@ -1,0 +1,61 @@
+// Continuous tracking of heavy hitters WITH RESIDUAL ERROR (Theorem 4):
+// run the distributed weighted SWOR with sample size
+// s = ceil(6 * ln(1/(eps*delta)) / eps) and report the top O(1/eps)
+// sampled items by weight. With probability 1-delta the report contains
+// every i with w_i >= eps * ||x_tail(1/eps)||_1 — a strictly stronger
+// guarantee than plain L1 heavy hitters.
+
+#ifndef DWRS_HH_RESIDUAL_HH_H_
+#define DWRS_HH_RESIDUAL_HH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/sampler.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+
+struct ResidualHhConfig {
+  int num_sites = 4;
+  double eps = 0.1;
+  double delta = 0.1;
+  uint64_t seed = 1;
+  int delivery_delay = 0;
+};
+
+class ResidualHeavyHitterTracker {
+ public:
+  explicit ResidualHeavyHitterTracker(const ResidualHhConfig& config);
+
+  // Theorem 4's sample size: ceil(6 ln(1/(eps*delta)) / eps).
+  static int RequiredSampleSize(double eps, double delta);
+
+  void Observe(int site, const Item& item) { sampler_.Observe(site, item); }
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr) {
+    sampler_.Run(workload, on_step);
+  }
+
+  // The report: top ceil(2/eps) sampled items by weight, descending.
+  std::vector<Item> HeavyHitters() const;
+
+  const sim::MessageStats& stats() const { return sampler_.stats(); }
+  const DistributedWswor& sampler() const { return sampler_; }
+  int sample_size() const { return sample_size_; }
+
+ private:
+  ResidualHhConfig config_;
+  int sample_size_;
+  DistributedWswor sampler_;
+};
+
+// Theorem 4 bound (up to constants):
+// (k/log k + log(1/(eps*delta))/eps) * log(eps*W).
+double Theorem4MessageBound(int num_sites, double eps, double delta,
+                            double total_weight);
+
+}  // namespace dwrs
+
+#endif  // DWRS_HH_RESIDUAL_HH_H_

@@ -1,0 +1,62 @@
+#include "hh/space_saving.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+  DWRS_CHECK_GT(capacity, 0u);
+}
+
+void SpaceSaving::Reinsert(uint64_t id, Counter counter) {
+  counters_[id] = counter;
+  index_[id] = by_count_.emplace(counter.count, id);
+}
+
+void SpaceSaving::Add(uint64_t id, double weight) {
+  DWRS_CHECK_GT(weight, 0.0);
+  total_weight_ += weight;
+  auto it = counters_.find(id);
+  if (it != counters_.end()) {
+    Counter c = it->second;
+    by_count_.erase(index_[id]);
+    c.count += weight;
+    Reinsert(id, c);
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    Reinsert(id, Counter{weight, 0.0});
+    return;
+  }
+  // Evict the minimum counter; the newcomer inherits its count as error.
+  auto min_it = by_count_.begin();
+  const uint64_t victim = min_it->second;
+  const double min_count = min_it->first;
+  by_count_.erase(min_it);
+  counters_.erase(victim);
+  index_.erase(victim);
+  Reinsert(id, Counter{min_count + weight, min_count});
+}
+
+std::vector<SpaceSaving::Estimate> SpaceSaving::Entries() const {
+  std::vector<Estimate> out;
+  out.reserve(counters_.size());
+  for (const auto& [id, c] : counters_) {
+    out.push_back(Estimate{id, c.count, c.error});
+  }
+  std::sort(out.begin(), out.end(), [](const Estimate& a, const Estimate& b) {
+    return a.count > b.count;
+  });
+  return out;
+}
+
+double SpaceSaving::EstimateOf(uint64_t id) const {
+  auto it = counters_.find(id);
+  if (it != counters_.end()) return it->second.count;
+  if (by_count_.empty()) return 0.0;
+  return by_count_.begin()->first;  // anything untracked is below the min
+}
+
+}  // namespace dwrs

@@ -1,0 +1,57 @@
+// Weighted SpaceSaving (Metwally et al.), the standard centralized
+// heavy-hitter summary. Used by the search-queries example as the
+// classical comparison point that lacks a residual-error guarantee.
+
+#ifndef DWRS_HH_SPACE_SAVING_H_
+#define DWRS_HH_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace dwrs {
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t capacity);
+
+  // Adds weight w to identifier id (ids may repeat across the stream).
+  void Add(uint64_t id, double weight);
+
+  struct Estimate {
+    uint64_t id = 0;
+    double count = 0.0;  // upper bound on the true weight
+    double error = 0.0;  // max overestimation
+  };
+
+  // Monitored identifiers sorted by estimated count descending.
+  std::vector<Estimate> Entries() const;
+
+  // Upper-bound estimate for an id (0 if untracked... then min counter).
+  double EstimateOf(uint64_t id) const;
+
+  double total_weight() const { return total_weight_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Counter {
+    double count = 0.0;
+    double error = 0.0;
+  };
+
+  size_t capacity_;
+  double total_weight_ = 0.0;
+  std::unordered_map<uint64_t, Counter> counters_;
+  // count -> ids with that count (multimap as a priority index).
+  std::multimap<double, uint64_t> by_count_;
+  std::unordered_map<uint64_t, std::multimap<double, uint64_t>::iterator>
+      index_;
+
+  void Reinsert(uint64_t id, Counter counter);
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_HH_SPACE_SAVING_H_

@@ -1,0 +1,39 @@
+#include "hh/swr_hh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+int SwrHeavyHitterTracker::RequiredSampleSize(double eps, double delta) {
+  DWRS_CHECK(eps > 0.0 && eps < 1.0);
+  DWRS_CHECK(delta > 0.0 && delta < 1.0);
+  // Coupon collector: O(log(1/(eps delta))/eps) draws with replacement.
+  const double s = std::ceil(6.0 * std::log(1.0 / (eps * delta)) / eps);
+  return std::max(1, static_cast<int>(s));
+}
+
+SwrHeavyHitterTracker::SwrHeavyHitterTracker(int num_sites, double eps,
+                                             double delta, uint64_t seed)
+    : eps_(eps),
+      swr_(num_sites, RequiredSampleSize(eps, delta), seed) {}
+
+std::vector<Item> SwrHeavyHitterTracker::HeavyHitters() const {
+  std::vector<Item> sample = swr_.Sample();
+  std::sort(sample.begin(), sample.end(), [](const Item& a, const Item& b) {
+    return a.weight > b.weight;
+  });
+  std::unordered_set<uint64_t> seen;
+  std::vector<Item> out;
+  const size_t limit = static_cast<size_t>(std::ceil(2.0 / eps_));
+  for (const Item& item : sample) {
+    if (out.size() >= limit) break;
+    if (seen.insert(item.id).second) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace dwrs

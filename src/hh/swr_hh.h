@@ -1,0 +1,43 @@
+// Baseline heavy-hitter tracker via sampling WITH replacement: the
+// coupon-collector argument gives plain eps-heavy hitters from
+// O(log(1/(eps*delta))/eps) SWR samples, but NOT residual heavy hitters —
+// a few mega-heavy items absorb almost every draw (Section 1.2, Section
+// 4). Bench E7 measures exactly that failure.
+
+#ifndef DWRS_HH_SWR_HH_H_
+#define DWRS_HH_SWR_HH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "swr/distributed_weighted_swr.h"
+
+namespace dwrs {
+
+class SwrHeavyHitterTracker {
+ public:
+  SwrHeavyHitterTracker(int num_sites, double eps, double delta,
+                        uint64_t seed);
+
+  static int RequiredSampleSize(double eps, double delta);
+
+  void Observe(int site, const Item& item) { swr_.Observe(site, item); }
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr) {
+    swr_.Run(workload, on_step);
+  }
+
+  // Distinct sampled identifiers, by weight descending, top ceil(2/eps).
+  std::vector<Item> HeavyHitters() const;
+
+  const sim::MessageStats& stats() const { return swr_.stats(); }
+
+ private:
+  double eps_;
+  DistributedWeightedSwr swr_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_HH_SWR_HH_H_

@@ -1,0 +1,66 @@
+#include "l1/deterministic_l1.h"
+
+#include "util/check.h"
+
+namespace dwrs {
+
+DetL1Site::DetL1Site(double eps, int site_index, sim::Network* network)
+    : eps_(eps), site_index_(site_index), network_(network) {
+  DWRS_CHECK(eps > 0.0 && eps < 1.0);
+  DWRS_CHECK(network != nullptr);
+}
+
+void DetL1Site::OnItem(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  local_total_ += item.weight;
+  if (last_reported_ > 0.0 &&
+      local_total_ < last_reported_ * (1.0 + eps_)) {
+    return;
+  }
+  last_reported_ = local_total_;
+  sim::Payload msg;
+  msg.type = kDetL1Report;
+  msg.x = local_total_;
+  msg.words = 2;
+  network_->SendToCoordinator(site_index_, msg);
+}
+
+void DetL1Site::OnMessage(const sim::Payload& msg) {
+  DWRS_CHECK(false) << " deterministic L1 sites receive no messages, got "
+                    << msg.type;
+}
+
+DetL1Coordinator::DetL1Coordinator(int num_sites)
+    : last_report_(static_cast<size_t>(num_sites), 0.0) {}
+
+void DetL1Coordinator::OnMessage(int site, const sim::Payload& msg) {
+  DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kDetL1Report));
+  total_ += msg.x - last_report_[static_cast<size_t>(site)];
+  last_report_[static_cast<size_t>(site)] = msg.x;
+}
+
+DeterministicL1Tracker::DeterministicL1Tracker(int num_sites, double eps,
+                                               int delivery_delay)
+    : runtime_(num_sites, delivery_delay) {
+  for (int i = 0; i < num_sites; ++i) {
+    sites_.push_back(
+        std::make_unique<DetL1Site>(eps, i, &runtime_.network()));
+    runtime_.AttachSite(i, sites_.back().get());
+  }
+  coordinator_ = std::make_unique<DetL1Coordinator>(num_sites);
+  runtime_.AttachCoordinator(coordinator_.get());
+}
+
+void DeterministicL1Tracker::Observe(int site, const Item& item) {
+  runtime_.Deliver(WorkloadEvent{site, item});
+}
+
+void DeterministicL1Tracker::Run(
+    const Workload& workload, const std::function<void(uint64_t)>& on_step) {
+  for (uint64_t i = 0; i < workload.size(); ++i) {
+    Observe(workload.event(i).site, workload.event(i).item);
+    if (on_step) on_step(i + 1);
+  }
+}
+
+}  // namespace dwrs

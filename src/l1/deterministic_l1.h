@@ -1,0 +1,71 @@
+// Deterministic L1 tracking baseline ([14] + folklore, the
+// O((k/eps) log W) row of the Section 5 table): each site reports its
+// exact local total whenever it grows by a (1+eps) factor since the last
+// report; the coordinator sums the last reports. Zero failure
+// probability, error at most eps relative, k log(W)/eps messages.
+
+#ifndef DWRS_L1_DETERMINISTIC_L1_H_
+#define DWRS_L1_DETERMINISTIC_L1_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/runtime.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+
+enum DetL1MessageType : uint32_t {
+  kDetL1Report = 1,  // site -> coord: (local total)
+};
+
+class DetL1Site : public sim::SiteNode {
+ public:
+  DetL1Site(double eps, int site_index, sim::Network* network);
+
+  void OnItem(const Item& item) override;
+  void OnMessage(const sim::Payload& msg) override;
+
+ private:
+  double eps_;
+  int site_index_;
+  sim::Network* network_;
+  double local_total_ = 0.0;
+  double last_reported_ = 0.0;
+};
+
+class DetL1Coordinator : public sim::CoordinatorNode {
+ public:
+  explicit DetL1Coordinator(int num_sites);
+
+  void OnMessage(int site, const sim::Payload& msg) override;
+
+  double Estimate() const { return total_; }
+
+ private:
+  std::vector<double> last_report_;
+  double total_ = 0.0;
+};
+
+class DeterministicL1Tracker {
+ public:
+  DeterministicL1Tracker(int num_sites, double eps, int delivery_delay = 0);
+
+  void Observe(int site, const Item& item);
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr);
+
+  double Estimate() const { return coordinator_->Estimate(); }
+  const sim::MessageStats& stats() const { return runtime_.stats(); }
+
+ private:
+  sim::Runtime runtime_;
+  std::vector<std::unique_ptr<DetL1Site>> sites_;
+  std::unique_ptr<DetL1Coordinator> coordinator_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_L1_DETERMINISTIC_L1_H_

@@ -1,0 +1,119 @@
+#include "l1/l1_tracker.h"
+
+#include <cmath>
+#include <limits>
+
+#include "random/distributions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+int L1TrackerConfig::SampleSize() const {
+  DWRS_CHECK(eps > 0.0 && eps < 0.5);
+  DWRS_CHECK(delta > 0.0 && delta < 1.0);
+  return static_cast<int>(
+      std::ceil(10.0 * std::log(1.0 / delta) / (eps * eps)));
+}
+
+uint64_t L1TrackerConfig::Duplication() const {
+  return static_cast<uint64_t>(
+      std::ceil(static_cast<double>(SampleSize()) / (2.0 * eps)));
+}
+
+L1Site::L1Site(const L1TrackerConfig& config, int site_index,
+               sim::Network* network, uint64_t seed)
+    : config_(config),
+      ell_(config.Duplication()),
+      max_batch_(config.SampleSize()),
+      site_index_(site_index),
+      network_(network),
+      rng_(seed) {
+  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK_GE(ell_, static_cast<uint64_t>(max_batch_));
+}
+
+void L1Site::OnItem(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  // Keys of the ell conceptual copies are w/t_1, ..., w/t_ell with t_j iid
+  // Exp(1). The largest keys correspond to the smallest t_j, generated
+  // ascending via spacings; we stop at the first t >= w/u (its key — and
+  // every later one — misses the threshold) or after s copies (anything
+  // beyond the batch's own top-s is evicted by its siblings immediately).
+  const double bound = threshold_ > 0.0
+                           ? item.weight / threshold_
+                           : std::numeric_limits<double>::infinity();
+  double t = 0.0;
+  for (int i = 0; i < max_batch_; ++i) {
+    t += Exponential(rng_) / static_cast<double>(ell_ - static_cast<uint64_t>(i));
+    if (t >= bound) break;
+    sim::Payload msg;
+    msg.type = kWsworRegular;
+    msg.a = item.id;
+    msg.x = item.weight;
+    msg.y = item.weight / t;
+    msg.words = 4;
+    network_->SendToCoordinator(site_index_, msg);
+  }
+}
+
+void L1Site::OnMessage(const sim::Payload& msg) {
+  DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kWsworUpdateEpoch));
+  if (msg.x > threshold_) threshold_ = msg.x;
+}
+
+namespace {
+
+WsworConfig MakeCoordinatorConfig(const L1TrackerConfig& config) {
+  WsworConfig out;
+  out.num_sites = config.num_sites;
+  out.sample_size = config.SampleSize();
+  out.seed = config.seed;
+  out.withhold_heavy = false;  // duplication replaces level sets (§5)
+  out.delivery_delay = config.delivery_delay;
+  return out;
+}
+
+}  // namespace
+
+L1Tracker::L1Tracker(const L1TrackerConfig& config)
+    : config_(config), runtime_(config.num_sites, config.delivery_delay) {
+  Rng master(config.seed);
+  for (int i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<L1Site>(config_, i, &runtime_.network(),
+                                              master.NextU64()));
+    runtime_.AttachSite(i, sites_.back().get());
+  }
+  coordinator_ = std::make_unique<WsworCoordinator>(
+      MakeCoordinatorConfig(config_), &runtime_.network(), master.NextU64());
+  runtime_.AttachCoordinator(coordinator_.get());
+}
+
+void L1Tracker::Observe(int site, const Item& item) {
+  runtime_.Deliver(WorkloadEvent{site, item});
+}
+
+void L1Tracker::Run(const Workload& workload,
+                    const std::function<void(uint64_t)>& on_step) {
+  for (uint64_t i = 0; i < workload.size(); ++i) {
+    Observe(workload.event(i).site, workload.event(i).item);
+    if (on_step) on_step(i + 1);
+  }
+}
+
+double L1Tracker::Estimate() const {
+  const double u = coordinator_->Threshold();
+  if (u <= 0.0) return 0.0;
+  return static_cast<double>(config_.SampleSize()) * u /
+         static_cast<double>(config_.Duplication());
+}
+
+double Theorem6MessageBound(int num_sites, double eps, double delta,
+                            double total_weight) {
+  const double k = num_sites;
+  const double log_w = std::log(std::max(2.0, eps * total_weight));
+  return (k / std::log(std::max(2.0, k)) +
+          std::log(1.0 / delta) / (eps * eps)) *
+         log_w;
+}
+
+}  // namespace dwrs

@@ -1,0 +1,94 @@
+// Distributed L1 (count) tracking via weighted SWOR (Section 5,
+// Algorithm "Tracking L1" + Theorem 6).
+//
+// Every arriving item (e, w) is conceptually duplicated ell = s/(2*eps)
+// times and fed to the weighted SWOR sampler P with s = 10 ln(1/delta) /
+// eps^2; the coordinator's s-th largest key u then concentrates so that
+// W-hat = s * u / ell = (1 +/- eps) W.
+//
+// Duplication removes heavy hitters without level sets (each copy is at
+// most a 1/(2s)-fraction of the duplicated prefix), so the sampler runs
+// with withholding disabled. Sites never materialize the ell copies:
+// only the copies whose keys beat the epoch threshold matter, and only
+// the best s of those can enter the sample, so the site draws the
+// smallest exponentials of the batch directly via order-statistic
+// spacings and stops at the first one that misses the threshold —
+// expected O(1) work per item in the steady state.
+
+#ifndef DWRS_L1_L1_TRACKER_H_
+#define DWRS_L1_L1_TRACKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/coordinator.h"
+#include "random/rng.h"
+#include "sim/runtime.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+
+struct L1TrackerConfig {
+  int num_sites = 4;
+  double eps = 0.1;
+  double delta = 0.1;
+  uint64_t seed = 1;
+  int delivery_delay = 0;
+
+  // s = ceil(10 ln(1/delta) / eps^2).
+  int SampleSize() const;
+  // ell = ceil(s / (2 eps)).
+  uint64_t Duplication() const;
+};
+
+// Site protocol: batched duplication into the precision sampler.
+class L1Site : public sim::SiteNode {
+ public:
+  L1Site(const L1TrackerConfig& config, int site_index, sim::Network* network,
+         uint64_t seed);
+
+  void OnItem(const Item& item) override;
+  void OnMessage(const sim::Payload& msg) override;
+
+ private:
+  const L1TrackerConfig config_;
+  const uint64_t ell_;
+  const int max_batch_;  // s: more copies than this can never matter
+  int site_index_;
+  sim::Network* network_;
+  Rng rng_;
+  double threshold_ = 0.0;
+};
+
+class L1Tracker {
+ public:
+  explicit L1Tracker(const L1TrackerConfig& config);
+
+  void Observe(int site, const Item& item);
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr);
+
+  // W-hat = s * u / ell; 0 before any item arrived.
+  double Estimate() const;
+
+  const sim::MessageStats& stats() const { return runtime_.stats(); }
+  const L1TrackerConfig& config() const { return config_; }
+
+ private:
+  L1TrackerConfig config_;
+  sim::Runtime runtime_;
+  std::vector<std::unique_ptr<L1Site>> sites_;
+  std::unique_ptr<WsworCoordinator> coordinator_;
+};
+
+// This work's Theorem 6 bound (up to constants):
+// (k/log k + log(1/delta)/eps^2) * log(eps*W).
+double Theorem6MessageBound(int num_sites, double eps, double delta,
+                            double total_weight);
+
+}  // namespace dwrs
+
+#endif  // DWRS_L1_L1_TRACKER_H_

@@ -1,0 +1,100 @@
+// Randomized L1 tracking baseline in the style of Huang–Yi–Zhang [23]
+// (the O((k + sqrt(k)/eps) log W) row of the Section 5 table).
+//
+// Phases are driven by the coordinator's lower bound L = sum of the
+// exact local totals carried by the reports themselves. Within a phase
+// of scale N each site reports its exact local total with probability q
+// per unit weight,
+// q = min(1, sqrt(k)/(eps*N)): unreported per-site drift is geometric
+// with mean ~1/q = eps*N/sqrt(k), so the summed correction has standard
+// deviation ~sqrt(k)/q = eps*N. Expected messages per phase:
+// q * N ~ sqrt(k)/eps, plus a k-message broadcast per phase. The
+// accuracy guarantee holds in [23]'s regime k <= 1/eps^2.
+
+#ifndef DWRS_L1_SQRTK_L1_H_
+#define DWRS_L1_SQRTK_L1_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "random/rng.h"
+#include "sim/runtime.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+
+enum SqrtkL1MessageType : uint32_t {
+  kSqrtkReport = 1,    // site -> coord: (local total)
+  kSqrtkNewPhase = 2,  // coord -> all sites: (q)
+};
+
+class SqrtkL1Site : public sim::SiteNode {
+ public:
+  SqrtkL1Site(int site_index, sim::Network* network, uint64_t seed);
+
+  void OnItem(const Item& item) override;
+  void OnMessage(const sim::Payload& msg) override;
+
+ private:
+  void Report();
+
+  int site_index_;
+  sim::Network* network_;
+  Rng rng_;
+  double q_ = 1.0;  // per-unit-weight reporting probability
+  double local_total_ = 0.0;
+  double unreported_ = 0.0;  // weight since the last report
+  bool ever_reported_ = false;
+};
+
+class SqrtkL1Coordinator : public sim::CoordinatorNode {
+ public:
+  SqrtkL1Coordinator(int num_sites, double eps, sim::Network* network);
+
+  void OnMessage(int site, const sim::Payload& msg) override;
+
+  // Sum of last reports plus the expected-drift correction.
+  double Estimate() const;
+
+  double current_q() const { return q_; }
+
+ private:
+  void MaybeAdvancePhase();
+
+  int num_sites_;
+  double eps_;
+  sim::Network* network_;
+  std::vector<double> last_report_;
+  std::vector<uint8_t> active_;
+  double sum_reports_ = 0.0;
+  int active_count_ = 0;
+  double scale_ = 1.0;  // N
+  double q_ = 1.0;
+};
+
+class SqrtkL1Tracker {
+ public:
+  SqrtkL1Tracker(int num_sites, double eps, uint64_t seed,
+                 int delivery_delay = 0);
+
+  void Observe(int site, const Item& item);
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr);
+
+  double Estimate() const { return coordinator_->Estimate(); }
+  const sim::MessageStats& stats() const { return runtime_.stats(); }
+
+ private:
+  sim::Runtime runtime_;
+  std::vector<std::unique_ptr<SqrtkL1Site>> sites_;
+  std::unique_ptr<SqrtkL1Coordinator> coordinator_;
+};
+
+// [23]'s bound for k <= 1/eps^2 (up to constants): (sqrt(k)/eps) log W.
+double HyzMessageBound(int num_sites, double eps, double total_weight);
+
+}  // namespace dwrs
+
+#endif  // DWRS_L1_SQRTK_L1_H_

@@ -1,0 +1,187 @@
+#include "random/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+double Exponential(Rng& rng) { return -std::log(rng.NextDoubleOpenLeft()); }
+
+double ExponentialRate(Rng& rng, double rate) {
+  DWRS_CHECK_GT(rate, 0.0);
+  return Exponential(rng) / rate;
+}
+
+double TruncatedExponential(Rng& rng, double bound) {
+  DWRS_CHECK_GT(bound, 0.0);
+  // Inverse CDF of Exp(1) | X < bound:  F(x) = (1 - e^-x) / (1 - e^-bound).
+  double u = rng.NextDouble();  // [0, 1)
+  double scale = -std::expm1(-bound);
+  double x = -std::log1p(-u * scale);
+  // Clamp for floating point safety; x must stay strictly inside (0, bound).
+  if (x <= 0.0) x = std::numeric_limits<double>::min();
+  if (x >= bound) x = std::nextafter(bound, 0.0);
+  return x;
+}
+
+uint64_t GeometricTrials(Rng& rng, double p) {
+  DWRS_CHECK_GT(p, 0.0);
+  if (p >= 1.0) return 1;
+  double u = rng.NextDoubleOpenLeft();
+  double g = std::floor(std::log(u) / std::log1p(-p));
+  if (g >= 9.0e18) return UINT64_MAX;
+  return static_cast<uint64_t>(g) + 1;
+}
+
+double Normal(Rng& rng) {
+  // Box-Muller; one variate per call keeps the generator stateless.
+  double u1 = rng.NextDoubleOpenLeft();
+  double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586477 * u2);
+}
+
+double Gamma(Rng& rng, double shape) {
+  DWRS_CHECK_GT(shape, 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+    double u = rng.NextDoubleOpenLeft();
+    return Gamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = Normal(rng);
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = rng.NextDoubleOpenLeft();
+    double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return d * v;
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+double Beta(Rng& rng, double a, double b) {
+  double ga = Gamma(rng, a);
+  double gb = Gamma(rng, b);
+  double r = ga / (ga + gb);
+  // Keep strictly inside (0,1) so callers can divide by r and 1-r.
+  if (r <= 0.0) r = std::numeric_limits<double>::min();
+  if (r >= 1.0) r = std::nextafter(1.0, 0.0);
+  return r;
+}
+
+namespace {
+
+// Exact O(np)-expected counting of successes via geometric skips.
+uint64_t BinomialBySkips(Rng& rng, uint64_t n, double p) {
+  uint64_t successes = 0;
+  uint64_t consumed = 0;
+  while (true) {
+    uint64_t g = GeometricTrials(rng, p);
+    if (g > n - consumed) break;
+    consumed += g;
+    ++successes;
+    if (consumed == n) break;
+  }
+  return successes;
+}
+
+// Classic BINV inversion along the pmf recurrence; valid while (1-p)^n does
+// not underflow. Expected time O(np).
+uint64_t BinomialByInversion(Rng& rng, uint64_t n, double p) {
+  const double q = 1.0 - p;
+  double f = std::exp(static_cast<double>(n) * std::log(q));
+  DWRS_CHECK_GT(f, 0.0);
+  double u = rng.NextDouble();
+  const double odds = p / q;
+  uint64_t k = 0;
+  while (u > f && k < n) {
+    u -= f;
+    ++k;
+    f *= odds * (static_cast<double>(n - k + 1) / static_cast<double>(k));
+  }
+  return k;
+}
+
+}  // namespace
+
+uint64_t Binomial(Rng& rng, uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (p > 0.5) return n - Binomial(rng, n, 1.0 - p);
+
+  const double np = static_cast<double>(n) * p;
+  if (np < 10.0) return BinomialBySkips(rng, n, p);
+  if (np <= 500.0 && static_cast<double>(n) * std::log1p(-p) > -700.0) {
+    return BinomialByInversion(rng, n, p);
+  }
+  // Exact divide and conquer via the (m+1)-st uniform order statistic
+  // U ~ Beta(m+1, n-m): conditioned on U=u the draws below u are m iid
+  // uniforms on (0,u) and the ones above are n-m-1 iid uniforms on (u,1).
+  const uint64_t m = n / 2;
+  const double u = Beta(rng, static_cast<double>(m) + 1.0,
+                        static_cast<double>(n - m));
+  if (p < u) return Binomial(rng, m, p / u);
+  return m + 1 + Binomial(rng, n - m - 1, (p - u) / (1.0 - u));
+}
+
+// ---------------------------------------------------------------------------
+// Zipf via rejection-inversion (Hormann & Derflinger 1996).
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  DWRS_CHECK_GE(n, 1u);
+  DWRS_CHECK_GT(alpha, 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfSampler::H(double x) const {
+  const double log_x = std::log(x);
+  if (std::fabs(alpha_ - 1.0) < 1e-12) return log_x;
+  return std::expm1((1.0 - alpha_) * log_x) / (1.0 - alpha_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::fabs(alpha_ - 1.0) < 1e-12) return std::exp(x);
+  return std::exp(std::log1p(x * (1.0 - alpha_)) / (1.0 - alpha_));
+}
+
+uint64_t ZipfSampler::Next(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_) return k;
+    if (u >= H(kd + 0.5) - std::pow(kd, -alpha_)) return k;
+  }
+}
+
+double MinUniformBelowProb(double weight, double tau) {
+  DWRS_CHECK_GT(weight, 0.0);
+  if (tau <= 0.0) return 0.0;
+  if (tau >= 1.0) return 1.0;
+  return -std::expm1(weight * std::log1p(-tau));
+}
+
+double TruncatedMinUniform(Rng& rng, double weight, double tau) {
+  DWRS_CHECK_GT(weight, 0.0);
+  DWRS_CHECK_GT(tau, 0.0);
+  const double alpha = MinUniformBelowProb(weight, tau);
+  const double u = rng.NextDouble();
+  // Inverse CDF of (min of `weight` uniforms | min < tau).
+  double x = -std::expm1(std::log1p(-u * alpha) / weight);
+  if (x <= 0.0) x = std::numeric_limits<double>::min();
+  if (x >= tau) x = std::nextafter(tau, 0.0);
+  return x;
+}
+
+}  // namespace dwrs

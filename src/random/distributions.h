@@ -1,0 +1,75 @@
+// Random variate generation used throughout the samplers.
+//
+// All generators are deterministic functions of the supplied Rng so that
+// every simulation is exactly reproducible from its seed.
+
+#ifndef DWRS_RANDOM_DISTRIBUTIONS_H_
+#define DWRS_RANDOM_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+#include "random/rng.h"
+
+namespace dwrs {
+
+// Exponential(rate = 1) variate; strictly positive.
+double Exponential(Rng& rng);
+
+// Exponential(rate) variate.
+double ExponentialRate(Rng& rng, double rate);
+
+// Exponential(1) conditioned on being < bound (bound > 0), via inverse CDF.
+// Used to generate the key of an item already known to pass a threshold.
+double TruncatedExponential(Rng& rng, double bound);
+
+// Geometric over {1, 2, ...}: number of Bernoulli(p) trials up to and
+// including the first success. Used for skip-based samplers.
+uint64_t GeometricTrials(Rng& rng, double p);
+
+// Binomial(n, p). Exact inversion for small n*p; BTRS rejection
+// (Hormann 1993) otherwise. Used to batch s independent coin flips in the
+// SWR reduction of Corollary 1 into one draw.
+uint64_t Binomial(Rng& rng, uint64_t n, double p);
+
+// Zipf over ranks {1..n} with exponent alpha > 0 via rejection-inversion
+// (Hormann & Derflinger). P(rank = i) proportional to i^-alpha.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double alpha);
+
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+// Standard normal variate (Box-Muller).
+double Normal(Rng& rng);
+
+// Gamma(shape, 1) for shape >= 1 via Marsaglia-Tsang; shape < 1 via the
+// boost to shape+1 with the U^(1/shape) correction.
+double Gamma(Rng& rng, double shape);
+
+// Beta(a, b) via two Gamma draws.
+double Beta(Rng& rng, double a, double b);
+
+// P(min of `w` iid Uniform(0,1) keys < tau) = 1 - (1-tau)^w, computed
+// stably; this is alpha(w, j) from Corollary 1 with tau = 2^-j.
+double MinUniformBelowProb(double weight, double tau);
+
+// Samples the min of `w` iid Uniform(0,1) draws conditioned to be < tau.
+double TruncatedMinUniform(Rng& rng, double weight, double tau);
+
+}  // namespace dwrs
+
+#endif  // DWRS_RANDOM_DISTRIBUTIONS_H_

@@ -1,0 +1,115 @@
+#include "random/exponential_order_stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "random/distributions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+std::vector<double> SmallestExponentials(Rng& rng, uint64_t n, uint64_t k) {
+  DWRS_CHECK_GE(n, k);
+  std::vector<double> out;
+  out.reserve(k);
+  double current = 0.0;
+  for (uint64_t i = 0; i < k; ++i) {
+    current += Exponential(rng) / static_cast<double>(n - i);
+    out.push_back(current);
+  }
+  return out;
+}
+
+std::vector<double> TopDuplicateKeys(Rng& rng, double weight, uint64_t n,
+                                     uint64_t k) {
+  DWRS_CHECK_GT(weight, 0.0);
+  std::vector<double> spacings = SmallestExponentials(rng, n, k);
+  for (double& t : spacings) t = weight / t;
+  return spacings;  // descending: smallest t first => largest key first
+}
+
+std::vector<double> ExactSworInclusionProbabilities(
+    const std::vector<double>& weights, int s) {
+  const int n = static_cast<int>(weights.size());
+  DWRS_CHECK_LE(n, 20);
+  DWRS_CHECK_GE(s, 0);
+  const int sample = std::min(s, n);
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  DWRS_CHECK_GT(total, 0.0);
+
+  // g[mask] = probability that the first popcount(mask) draws (in any
+  // order) are exactly the items in mask.
+  const uint32_t limit = 1u << n;
+  std::vector<double> g(limit, 0.0);
+  std::vector<double> mask_weight(limit, 0.0);
+  g[0] = 1.0;
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    mask_weight[mask] =
+        mask_weight[mask & (mask - 1)] + weights[__builtin_ctz(mask)];
+  }
+  std::vector<double> inclusion(n, 0.0);
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    const int size = __builtin_popcount(mask);
+    if (size > sample) continue;
+    double prob = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (!(mask & (1u << j))) continue;
+      const uint32_t prev = mask & ~(1u << j);
+      const double remaining = total - mask_weight[prev];
+      prob += g[prev] * (weights[j] / remaining);
+    }
+    g[mask] = prob;
+    if (size == sample) {
+      for (int j = 0; j < n; ++j) {
+        if (mask & (1u << j)) inclusion[j] += prob;
+      }
+    }
+  }
+  return inclusion;
+}
+
+std::vector<std::pair<uint32_t, double>> ExactSworSetDistribution(
+    const std::vector<double>& weights, int s) {
+  const int n = static_cast<int>(weights.size());
+  DWRS_CHECK_LE(n, 20);
+  const int sample = std::min(s, n);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  DWRS_CHECK_GT(total, 0.0);
+
+  const uint32_t limit = 1u << n;
+  std::vector<double> g(limit, 0.0);
+  std::vector<double> mask_weight(limit, 0.0);
+  g[0] = 1.0;
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    mask_weight[mask] =
+        mask_weight[mask & (mask - 1)] + weights[__builtin_ctz(mask)];
+  }
+  std::vector<std::pair<uint32_t, double>> out;
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    const int size = __builtin_popcount(mask);
+    if (size > sample) continue;
+    double prob = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (!(mask & (1u << j))) continue;
+      const uint32_t prev = mask & ~(1u << j);
+      const double remaining = total - mask_weight[prev];
+      prob += g[prev] * (weights[j] / remaining);
+    }
+    g[mask] = prob;
+    if (size == sample) out.emplace_back(mask, prob);
+  }
+  return out;
+}
+
+std::vector<double> WeightedDrawProbabilities(
+    const std::vector<double>& weights) {
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  DWRS_CHECK_GT(total, 0.0);
+  std::vector<double> out(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) out[i] = weights[i] / total;
+  return out;
+}
+
+}  // namespace dwrs

@@ -1,0 +1,44 @@
+// Order statistics of exponential keys and exact small-instance laws of
+// weighted sampling without replacement. Used by the batched L1-tracker
+// site (top-s keys of many duplicated copies in O(s)) and by statistical
+// tests that compare samplers against the exact inclusion probabilities.
+
+#ifndef DWRS_RANDOM_EXPONENTIAL_ORDER_STATS_H_
+#define DWRS_RANDOM_EXPONENTIAL_ORDER_STATS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace dwrs {
+
+// The k smallest of n iid Exp(1) variates, ascending, generated directly in
+// O(k) via the memoryless spacing representation:
+//   E_(1) = Exp/n,  E_(i+1) = E_(i) + Exp/(n-i).
+std::vector<double> SmallestExponentials(Rng& rng, uint64_t n, uint64_t k);
+
+// The k largest keys w/t over n iid copies of an item with weight w,
+// descending. Equivalent to w divided by the k smallest exponentials.
+std::vector<double> TopDuplicateKeys(Rng& rng, double weight, uint64_t n,
+                                     uint64_t k);
+
+// Exact inclusion probabilities of a weighted SWOR of size s over the given
+// weights (paper Definition 1), via bitmask dynamic programming. Intended
+// for small instances (weights.size() <= ~16) inside tests.
+std::vector<double> ExactSworInclusionProbabilities(
+    const std::vector<double>& weights, int s);
+
+// Exact single-draw weighted probabilities w_i / W (the SWR per-draw law).
+std::vector<double> WeightedDrawProbabilities(const std::vector<double>& weights);
+
+// Exact probability of every size-s sample SET (as a bitmask over item
+// indices) under weighted SWOR. Enables true multinomial goodness-of-fit
+// tests of samplers. Small instances only (weights.size() <= ~16).
+std::vector<std::pair<uint32_t, double>> ExactSworSetDistribution(
+    const std::vector<double>& weights, int s);
+
+}  // namespace dwrs
+
+#endif  // DWRS_RANDOM_EXPONENTIAL_ORDER_STATS_H_

@@ -1,0 +1,52 @@
+#include "random/lazy_exponential.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dwrs {
+
+LazyExpDecision DecideExponentialBelow(Rng& rng, double bound) {
+  LazyExpDecision out;
+  if (bound <= 0.0) {
+    out.below_bound = false;
+    out.value = -std::log(rng.NextDoubleOpenLeft());
+    return out;
+  }
+  if (std::isinf(bound)) {
+    out.below_bound = true;
+    out.value = -std::log(rng.NextDoubleOpenLeft());
+    return out;
+  }
+
+  // t = -ln(U) < bound  <=>  U > e^{-bound} =: threshold.
+  const double threshold = std::exp(-bound);
+  double lo = 0.0;
+  double hi = 1.0;
+  // Refine [lo, hi) until it no longer straddles the threshold. Each bit
+  // halves the interval, so the expected number of iterations is < 2.
+  while (lo < threshold && threshold < hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;  // hit double resolution
+    if (rng.NextBit()) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    ++out.bits_consumed;
+  }
+  // Complete U uniformly inside the final interval; this is exactly the
+  // conditional distribution of the remaining bits.
+  double u = lo + rng.NextDouble() * (hi - lo);
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  out.below_bound = u > threshold;
+  out.value = -std::log(u);
+  // Floating point guard: make the decision and the value agree.
+  if (out.below_bound && out.value >= bound) {
+    out.value = std::nextafter(bound, 0.0);
+  } else if (!out.below_bound && out.value < bound) {
+    out.value = bound;
+  }
+  return out;
+}
+
+}  // namespace dwrs

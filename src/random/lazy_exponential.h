@@ -1,0 +1,32 @@
+// Bit-lazy exponential threshold decisions (paper Proposition 7).
+//
+// A site holding an item of weight w in epoch threshold u must decide
+// whether the key v = w / t (t ~ Exp(1)) exceeds u, i.e. whether t < w/u.
+// Since t = -ln(U) for U uniform, this is "is U > e^{-w/u}?", which can be
+// answered by generating the bits of U lazily: each generated bit halves
+// the candidate interval, so the decision consumes O(1) bits in
+// expectation and O(log W) bits with high probability — this is how the
+// paper argues O(1) machine words per message.
+
+#ifndef DWRS_RANDOM_LAZY_EXPONENTIAL_H_
+#define DWRS_RANDOM_LAZY_EXPONENTIAL_H_
+
+#include "random/rng.h"
+
+namespace dwrs {
+
+struct LazyExpDecision {
+  bool below_bound = false;  // t < bound, i.e. the key beats the threshold
+  int bits_consumed = 0;     // bits of U generated before deciding
+  double value = 0.0;        // the completed exponential variate t
+};
+
+// Decides whether an Exp(1) variate t is < bound, generating the bits of
+// the underlying uniform lazily; afterwards completes t exactly (the
+// conditional completion preserves the Exp(1) law). bound <= 0 decides
+// false immediately (0 bits); bound = +inf decides true (0 bits).
+LazyExpDecision DecideExponentialBelow(Rng& rng, double bound);
+
+}  // namespace dwrs
+
+#endif  // DWRS_RANDOM_LAZY_EXPONENTIAL_H_

@@ -1,0 +1,47 @@
+#include "sampling/cascade.h"
+
+#include <algorithm>
+
+#include "random/distributions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+CascadeSampler::CascadeSampler(int sample_size, uint64_t seed)
+    : rng_(seed), stages_(static_cast<size_t>(sample_size)) {
+  DWRS_CHECK_GT(sample_size, 0);
+}
+
+void CascadeSampler::Add(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  ++count_;
+  KeyedItem candidate{item, item.weight / Exponential(rng_)};
+  // Invariant: stage keys are decreasing, so a candidate below the final
+  // stage's key cannot enter the chain at all — the O(1) common case.
+  if (stages_.back().filled && candidate.key <= stages_.back().held.key) {
+    return;
+  }
+  for (Stage& stage : stages_) {
+    ++cascade_hops_;
+    if (!stage.filled) {
+      stage.held = candidate;
+      stage.filled = true;
+      return;
+    }
+    if (candidate.key > stage.held.key) {
+      // The displaced item keeps its key and races downstream.
+      std::swap(candidate, stage.held);
+    }
+  }
+  // The final displaced item falls off the end of the chain.
+}
+
+std::vector<KeyedItem> CascadeSampler::Sample() const {
+  std::vector<KeyedItem> out;
+  for (const Stage& stage : stages_) {
+    if (stage.filled) out.push_back(stage.held);
+  }
+  return out;
+}
+
+}  // namespace dwrs

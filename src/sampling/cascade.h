@@ -1,0 +1,49 @@
+// Cascade sampling (Braverman, Ostrovsky, Vorsanger 2015 — reference [7]
+// of the paper): weighted SWOR as a chain of s single-item samplers.
+// Sampler 1 races on the raw stream; an item evicted from sampler i
+// (with its key) cascades into sampler i+1. Since each stage retains the
+// maximum key it has ever seen among its input, stage i holds exactly
+// the i-th largest key overall — the chain collectively holds the top-s
+// keys, i.e. a weighted SWOR, with O(1) amortized cascade work.
+
+#ifndef DWRS_SAMPLING_CASCADE_H_
+#define DWRS_SAMPLING_CASCADE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "sampling/keyed_item.h"
+#include "stream/item.h"
+
+namespace dwrs {
+
+class CascadeSampler {
+ public:
+  CascadeSampler(int sample_size, uint64_t seed);
+
+  void Add(const Item& item);
+
+  // Keys descending (stage order).
+  std::vector<KeyedItem> Sample() const;
+
+  uint64_t count() const { return count_; }
+  // Total number of stage handoffs; ~ s + s*H(n/s) expected over n items.
+  uint64_t cascade_hops() const { return cascade_hops_; }
+
+ private:
+  struct Stage {
+    bool filled = false;
+    KeyedItem held;
+  };
+
+  Rng rng_;
+  uint64_t count_ = 0;
+  uint64_t cascade_hops_ = 0;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_SAMPLING_CASCADE_H_

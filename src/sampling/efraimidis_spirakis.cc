@@ -1,0 +1,68 @@
+#include "sampling/efraimidis_spirakis.h"
+
+#include "random/distributions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+CentralizedWswor::CentralizedWswor(int sample_size, uint64_t seed)
+    : rng_(seed), heap_(static_cast<size_t>(sample_size)) {
+  DWRS_CHECK_GT(sample_size, 0);
+}
+
+void CentralizedWswor::Add(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  ++count_;
+  const double key = item.weight / Exponential(rng_);
+  heap_.Offer(key, item);
+}
+
+std::vector<KeyedItem> CentralizedWswor::Sample() const {
+  std::vector<KeyedItem> out;
+  for (const auto& e : heap_.SortedDescending()) {
+    out.push_back(KeyedItem{e.value, e.key});
+  }
+  return out;
+}
+
+CentralizedWsworSkip::CentralizedWsworSkip(int sample_size, uint64_t seed)
+    : sample_size_(static_cast<size_t>(sample_size)),
+      rng_(seed),
+      heap_(static_cast<size_t>(sample_size)) {
+  DWRS_CHECK_GT(sample_size, 0);
+}
+
+void CentralizedWsworSkip::Add(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  ++count_;
+  if (!heap_.full()) {
+    heap_.Offer(item.weight / Exponential(rng_), item);
+    if (heap_.full()) {
+      weight_to_skip_ = heap_.MinKey() * Exponential(rng_);
+      skip_armed_ = true;
+    }
+    return;
+  }
+  DWRS_CHECK(skip_armed_);
+  if (item.weight < weight_to_skip_) {
+    // The exponential jump skips past this item entirely.
+    weight_to_skip_ -= item.weight;
+    return;
+  }
+  // This item's key beats the threshold; draw it from the conditional law:
+  // v = w / t with t ~ Exp(1) | t < w / threshold.
+  const double threshold = heap_.MinKey();
+  const double t = TruncatedExponential(rng_, item.weight / threshold);
+  heap_.Offer(item.weight / t, item);
+  weight_to_skip_ = heap_.MinKey() * Exponential(rng_);
+}
+
+std::vector<KeyedItem> CentralizedWsworSkip::Sample() const {
+  std::vector<KeyedItem> out;
+  for (const auto& e : heap_.SortedDescending()) {
+    out.push_back(KeyedItem{e.value, e.key});
+  }
+  return out;
+}
+
+}  // namespace dwrs

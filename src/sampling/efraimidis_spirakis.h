@@ -1,0 +1,65 @@
+// Centralized weighted sampling without replacement via exponential keys
+// (Efraimidis & Spirakis 2006; precision-sampling formulation of the
+// paper's Proposition 1): every item gets key v = w / Exp(1) and the
+// sample is the top-s keys. This is the exact reference distribution the
+// distributed sampler must reproduce.
+
+#ifndef DWRS_SAMPLING_EFRAIMIDIS_SPIRAKIS_H_
+#define DWRS_SAMPLING_EFRAIMIDIS_SPIRAKIS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "sampling/keyed_item.h"
+#include "sampling/top_key_heap.h"
+#include "stream/item.h"
+
+namespace dwrs {
+
+// One key drawn per item; O(log s) per item via the bounded heap.
+class CentralizedWswor {
+ public:
+  CentralizedWswor(int sample_size, uint64_t seed);
+
+  void Add(const Item& item);
+
+  // Sample (all items seen if fewer than s), keys descending.
+  std::vector<KeyedItem> Sample() const;
+
+  // The s-th largest key; 0 while fewer than s items have been seen.
+  double Threshold() const { return heap_.ThresholdOrZero(); }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  Rng rng_;
+  uint64_t count_ = 0;
+  TopKeyHeap<Item> heap_;
+};
+
+// A-ExpJ: the exponential-jump variant that only draws O(s log(W/s))
+// variates in total by skipping over cumulative weight.
+class CentralizedWsworSkip {
+ public:
+  CentralizedWsworSkip(int sample_size, uint64_t seed);
+
+  void Add(const Item& item);
+
+  std::vector<KeyedItem> Sample() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  size_t sample_size_;
+  Rng rng_;
+  uint64_t count_ = 0;
+  double weight_to_skip_ = 0.0;
+  bool skip_armed_ = false;
+  TopKeyHeap<Item> heap_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_SAMPLING_EFRAIMIDIS_SPIRAKIS_H_

@@ -1,0 +1,17 @@
+// An item together with its precision-sampling key v = w / Exp(1).
+
+#ifndef DWRS_SAMPLING_KEYED_ITEM_H_
+#define DWRS_SAMPLING_KEYED_ITEM_H_
+
+#include "stream/item.h"
+
+namespace dwrs {
+
+struct KeyedItem {
+  Item item;
+  double key = 0.0;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_SAMPLING_KEYED_ITEM_H_

@@ -1,0 +1,47 @@
+#include "sampling/priority_sampling.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+PrioritySampler::PrioritySampler(int sample_size, uint64_t seed)
+    : sample_size_(static_cast<size_t>(sample_size)),
+      rng_(seed),
+      heap_(static_cast<size_t>(sample_size) + 1) {
+  DWRS_CHECK_GT(sample_size, 0);
+}
+
+void PrioritySampler::Add(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  ++count_;
+  const double priority = item.weight / rng_.NextDoubleOpenLeft();
+  heap_.Offer(priority, item);
+}
+
+double PrioritySampler::Threshold() const {
+  if (!heap_.full()) return 0.0;
+  return heap_.MinKey();
+}
+
+std::vector<Item> PrioritySampler::Sample() const {
+  auto sorted = heap_.SortedDescending();
+  std::vector<Item> out;
+  const size_t n = std::min(sample_size_, sorted.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(sorted[i].value);
+  return out;
+}
+
+double PrioritySampler::EstimateSubsetSum(
+    const std::function<bool(const Item&)>& pred) const {
+  const double tau = Threshold();
+  double estimate = 0.0;
+  for (const Item& item : Sample()) {
+    if (pred(item)) estimate += std::max(item.weight, tau);
+  }
+  return estimate;
+}
+
+}  // namespace dwrs

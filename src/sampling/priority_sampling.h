@@ -1,0 +1,48 @@
+// Priority sampling (Duffield, Lund, Thorup 2007), cited by the paper as
+// the network-monitoring ancestor of precision sampling. Keeps the s
+// highest priorities q = w / Uniform(0,1] and estimates any subset sum
+// unbiasedly with sum of max(w, tau) over sampled subset members, where
+// tau is the (s+1)-st priority. Used by the network-monitoring example.
+
+#ifndef DWRS_SAMPLING_PRIORITY_SAMPLING_H_
+#define DWRS_SAMPLING_PRIORITY_SAMPLING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "random/rng.h"
+#include "sampling/top_key_heap.h"
+#include "stream/item.h"
+
+namespace dwrs {
+
+class PrioritySampler {
+ public:
+  PrioritySampler(int sample_size, uint64_t seed);
+
+  void Add(const Item& item);
+
+  // Unbiased estimate of the total weight of items matching `pred`.
+  double EstimateSubsetSum(const std::function<bool(const Item&)>& pred) const;
+
+  // tau: the (s+1)-st largest priority; 0 until s+1 items have arrived.
+  double Threshold() const;
+
+  // The s retained items (priorities descending).
+  std::vector<Item> Sample() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  size_t sample_size_;
+  Rng rng_;
+  uint64_t count_ = 0;
+  // Holds s+1 entries; the minimum is the threshold, the rest the sample.
+  TopKeyHeap<Item> heap_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_SAMPLING_PRIORITY_SAMPLING_H_

@@ -1,0 +1,57 @@
+#include "sampling/reservoir.h"
+
+#include <cmath>
+
+#include "random/distributions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+ReservoirSampler::ReservoirSampler(int sample_size, uint64_t seed)
+    : sample_size_(static_cast<size_t>(sample_size)), rng_(seed) {
+  DWRS_CHECK_GT(sample_size, 0);
+  sample_.reserve(sample_size_);
+}
+
+void ReservoirSampler::Add(const Item& item) {
+  ++count_;
+  if (sample_.size() < sample_size_) {
+    sample_.push_back(item);
+    return;
+  }
+  const uint64_t j = rng_.NextBounded(count_);
+  if (j < sample_size_) sample_[j] = item;
+}
+
+SkipReservoirSampler::SkipReservoirSampler(int sample_size, uint64_t seed)
+    : sample_size_(static_cast<size_t>(sample_size)), rng_(seed) {
+  DWRS_CHECK_GT(sample_size, 0);
+  sample_.reserve(sample_size_);
+}
+
+void SkipReservoirSampler::ScheduleNext() {
+  // Li (1994): W *= U^{1/s}; skip ~ floor(log(U')/log(1-W)).
+  w_ *= std::exp(std::log(rng_.NextDoubleOpenLeft()) /
+                 static_cast<double>(sample_size_));
+  const double skip = std::floor(std::log(rng_.NextDoubleOpenLeft()) /
+                                 std::log1p(-w_));
+  next_accept_ += static_cast<uint64_t>(skip) + 1;
+}
+
+void SkipReservoirSampler::Add(const Item& item) {
+  ++count_;
+  if (sample_.size() < sample_size_) {
+    sample_.push_back(item);
+    if (sample_.size() == sample_size_) {
+      next_accept_ = count_;
+      ScheduleNext();
+    }
+    return;
+  }
+  if (count_ == next_accept_) {
+    sample_[rng_.NextBounded(sample_size_)] = item;
+    ScheduleNext();
+  }
+}
+
+}  // namespace dwrs

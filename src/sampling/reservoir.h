@@ -1,0 +1,57 @@
+// Classical unweighted reservoir sampling: Vitter's Algorithm R and the
+// skip-based Algorithm L. These are the centralized ancestors of the
+// distributed samplers and serve as reference distributions in tests.
+
+#ifndef DWRS_SAMPLING_RESERVOIR_H_
+#define DWRS_SAMPLING_RESERVOIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "stream/item.h"
+
+namespace dwrs {
+
+// Algorithm R: O(1) per item, replaces position j < s with prob s/t.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(int sample_size, uint64_t seed);
+
+  void Add(const Item& item);
+
+  const std::vector<Item>& sample() const { return sample_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  size_t sample_size_;
+  uint64_t count_ = 0;
+  Rng rng_;
+  std::vector<Item> sample_;
+};
+
+// Algorithm L: geometric skips; o(1) amortized RNG work per item.
+class SkipReservoirSampler {
+ public:
+  SkipReservoirSampler(int sample_size, uint64_t seed);
+
+  void Add(const Item& item);
+
+  const std::vector<Item>& sample() const { return sample_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  void ScheduleNext();
+
+  size_t sample_size_;
+  uint64_t count_ = 0;
+  uint64_t next_accept_ = 0;  // 1-based index of next accepted item
+  double w_ = 1.0;
+  Rng rng_;
+  std::vector<Item> sample_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_SAMPLING_RESERVOIR_H_

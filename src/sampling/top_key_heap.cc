@@ -1,0 +1,13 @@
+// TopKeyHeap is header-only (template); this translation unit exists to
+// compile the header standalone and to anchor the module in the build.
+
+#include "sampling/top_key_heap.h"
+
+#include "stream/item.h"
+
+namespace dwrs {
+
+template class TopKeyHeap<Item>;
+template class TopKeyHeap<uint64_t>;
+
+}  // namespace dwrs

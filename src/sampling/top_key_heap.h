@@ -1,0 +1,102 @@
+// Bounded container keeping the `capacity` entries with the largest keys.
+// This is the sample set S maintained by every sampler in the repository;
+// the min entry is the paper's threshold u (the s-th largest key).
+
+#ifndef DWRS_SAMPLING_TOP_KEY_HEAP_H_
+#define DWRS_SAMPLING_TOP_KEY_HEAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+template <typename T>
+class TopKeyHeap {
+ public:
+  struct Entry {
+    double key;
+    T value;
+  };
+
+  explicit TopKeyHeap(size_t capacity) : capacity_(capacity) {
+    DWRS_CHECK_GT(capacity, 0u);
+    entries_.reserve(capacity + 1);
+  }
+
+  // Inserts when the heap has room or `key` beats the current minimum.
+  // Returns true when the entry was kept; the evicted minimum (if any) is
+  // stored into *evicted when non-null.
+  bool Offer(double key, T value, Entry* evicted = nullptr) {
+    if (entries_.size() < capacity_) {
+      entries_.push_back(Entry{key, std::move(value)});
+      std::push_heap(entries_.begin(), entries_.end(), MinFirst());
+      return true;
+    }
+    if (key <= entries_.front().key) return false;
+    std::pop_heap(entries_.begin(), entries_.end(), MinFirst());
+    if (evicted != nullptr) *evicted = std::move(entries_.back());
+    entries_.back() = Entry{key, std::move(value)};
+    std::push_heap(entries_.begin(), entries_.end(), MinFirst());
+    return true;
+  }
+
+  bool full() const { return entries_.size() >= capacity_; }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // The s-th largest key once full; 0 before that (the paper's u starts at
+  // 0 until the sample fills).
+  double ThresholdOrZero() const {
+    return full() ? entries_.front().key : 0.0;
+  }
+
+  // Smallest retained key; requires a nonempty heap.
+  double MinKey() const {
+    DWRS_CHECK(!entries_.empty());
+    return entries_.front().key;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // Removes and returns all entries matching `pred`, preserving the heap.
+  std::vector<Entry> ExtractIf(const std::function<bool(const Entry&)>& pred) {
+    std::vector<Entry> out;
+    size_t kept = 0;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (pred(entries_[i])) {
+        out.push_back(std::move(entries_[i]));
+      } else {
+        entries_[kept++] = std::move(entries_[i]);
+      }
+    }
+    entries_.resize(kept);
+    std::make_heap(entries_.begin(), entries_.end(), MinFirst());
+    return out;
+  }
+
+  // Entries sorted by key descending (copy).
+  std::vector<Entry> SortedDescending() const {
+    std::vector<Entry> out = entries_;
+    std::sort(out.begin(), out.end(),
+              [](const Entry& a, const Entry& b) { return a.key > b.key; });
+    return out;
+  }
+
+ private:
+  struct MinFirst {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.key > b.key;  // min-heap on key
+    }
+  };
+
+  size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_SAMPLING_TOP_KEY_HEAP_H_

@@ -1,0 +1,41 @@
+#include "sampling/weighted_swr.h"
+
+#include <unordered_set>
+
+#include "random/distributions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+CentralizedWeightedSwr::CentralizedWeightedSwr(int sample_size, uint64_t seed)
+    : rng_(seed), slots_(static_cast<size_t>(sample_size)) {
+  DWRS_CHECK_GT(sample_size, 0);
+}
+
+void CentralizedWeightedSwr::Add(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  ++count_;
+  for (Slot& slot : slots_) {
+    const double key = item.weight / Exponential(rng_);
+    if (key > slot.key) {
+      slot.key = key;
+      slot.item = item;
+    }
+  }
+}
+
+std::vector<Item> CentralizedWeightedSwr::Sample() const {
+  std::vector<Item> out;
+  if (count_ == 0) return out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) out.push_back(slot.item);
+  return out;
+}
+
+size_t CentralizedWeightedSwr::DistinctInSample() const {
+  std::unordered_set<uint64_t> ids;
+  for (const Item& item : Sample()) ids.insert(item.id);
+  return ids.size();
+}
+
+}  // namespace dwrs

@@ -1,0 +1,47 @@
+// Centralized weighted sampling WITH replacement (paper Definition 2):
+// s independent single-item weighted samplers, each realized as a max-key
+// race with exponential keys. The sample may contain the same identifier
+// many times — exactly the heavy-hitter collapse the paper's introduction
+// warns about (reproduced in bench E6).
+
+#ifndef DWRS_SAMPLING_WEIGHTED_SWR_H_
+#define DWRS_SAMPLING_WEIGHTED_SWR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "stream/item.h"
+
+namespace dwrs {
+
+class CentralizedWeightedSwr {
+ public:
+  CentralizedWeightedSwr(int sample_size, uint64_t seed);
+
+  void Add(const Item& item);
+
+  // One entry per slot (multiplicities allowed); empty slots omitted when
+  // fewer than one item has arrived.
+  std::vector<Item> Sample() const;
+
+  // Number of distinct identifiers in the current sample.
+  size_t DistinctInSample() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  struct Slot {
+    double key = -1.0;
+    Item item;
+  };
+
+  Rng rng_;
+  uint64_t count_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_SAMPLING_WEIGHTED_SWR_H_

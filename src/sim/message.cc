@@ -1,0 +1,15 @@
+#include "sim/message.h"
+
+#include <sstream>
+
+namespace dwrs::sim {
+
+std::string MessageStats::ToString() const {
+  std::ostringstream out;
+  out << "messages=" << total_messages() << " (up=" << site_to_coord
+      << ", down=" << coord_to_site << ", broadcasts=" << broadcast_events
+      << "), words=" << words;
+  return out.str();
+}
+
+}  // namespace dwrs::sim

@@ -1,0 +1,41 @@
+// Message representation for the simulated coordinator model.
+//
+// Every protocol message in the paper carries at most an identifier, a
+// weight, and a key — a constant number of machine words — so a single
+// fixed-layout Payload covers all protocols. `words` is the accounted
+// size; the simulation reports both message and word totals.
+
+#ifndef DWRS_SIM_MESSAGE_H_
+#define DWRS_SIM_MESSAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dwrs::sim {
+
+struct Payload {
+  uint32_t type = 0;   // protocol-defined discriminator
+  uint64_t a = 0;      // typically: item id or level index
+  double x = 0.0;      // typically: weight or threshold
+  double y = 0.0;      // typically: key
+  uint32_t words = 2;  // accounted size in machine words
+};
+
+// Aggregate traffic counters. A broadcast is accounted as k coordinator->
+// site messages (as in the paper's analysis) plus one broadcast event.
+struct MessageStats {
+  uint64_t site_to_coord = 0;
+  uint64_t coord_to_site = 0;
+  uint64_t broadcast_events = 0;
+  uint64_t words = 0;
+  std::array<uint64_t, 32> by_type{};
+
+  uint64_t total_messages() const { return site_to_coord + coord_to_site; }
+
+  std::string ToString() const;
+};
+
+}  // namespace dwrs::sim
+
+#endif  // DWRS_SIM_MESSAGE_H_

@@ -1,0 +1,82 @@
+// FIFO network between k sites and one coordinator, with message/word
+// accounting and an optional delivery delay (in stream steps) used to
+// exercise protocol robustness to in-flight messages.
+
+#ifndef DWRS_SIM_NETWORK_H_
+#define DWRS_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace dwrs::sim {
+
+class Network {
+ public:
+  // delivery_delay = 0 means messages become deliverable immediately
+  // (still FIFO); d > 0 delays each message by d stream steps. When
+  // jitter_seed != 0, each message is additionally delayed by an
+  // independent uniform amount in [0, delivery_delay] (FIFO per channel
+  // is preserved by monotone due-step assignment).
+  Network(int num_sites, int delivery_delay = 0, uint64_t jitter_seed = 0);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int num_sites() const { return num_sites_; }
+
+  // --- senders -------------------------------------------------------
+  void SendToCoordinator(int site, const Payload& msg);
+  void SendToSite(int site, const Payload& msg);
+
+  // Due step for the next enqueue on `channel` (0..k-1 up, k..2k-1 down),
+  // honouring both the configured delay/jitter and per-channel FIFO.
+  uint64_t NextDueStep(size_t channel);
+  // Accounted as num_sites() messages, delivered to every site.
+  void Broadcast(const Payload& msg);
+
+  // --- delivery (driven by Runtime) ----------------------------------
+  void AdvanceStep() { ++step_; }
+  uint64_t step() const { return step_; }
+
+  struct Delivery {
+    bool to_coordinator = false;
+    int site = 0;  // sender (if to_coordinator) or receiver (if to site)
+    Payload msg;
+  };
+
+  // Pops the oldest due message across all channels (FIFO per channel,
+  // globally ordered by enqueue sequence). Returns false when nothing is
+  // due. If `force` is true, delay is ignored (used to flush).
+  bool PopDue(Delivery* out, bool force = false);
+
+  bool HasPending() const { return pending_ > 0; }
+
+  const MessageStats& stats() const { return stats_; }
+
+ private:
+  struct Envelope {
+    uint64_t seq = 0;
+    uint64_t due_step = 0;
+    Payload msg;
+  };
+
+  void Account(const Payload& msg, bool upstream);
+
+  int num_sites_;
+  int delivery_delay_;
+  uint64_t jitter_state_ = 0;  // 0 = jitter disabled
+  std::vector<uint64_t> channel_floor_;  // per channel: min next due step
+  uint64_t step_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t pending_ = 0;
+  std::vector<std::deque<Envelope>> up_;    // site -> coordinator
+  std::vector<std::deque<Envelope>> down_;  // coordinator -> site
+  MessageStats stats_;
+};
+
+}  // namespace dwrs::sim
+
+#endif  // DWRS_SIM_NETWORK_H_

@@ -1,0 +1,85 @@
+#include "stats/chi_square.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+ChiSquareResult ChiSquareGoodnessOfFit(const std::vector<uint64_t>& observed,
+                                       const std::vector<double>& expected,
+                                       double min_expected) {
+  DWRS_CHECK_EQ(observed.size(), expected.size());
+  DWRS_CHECK(!observed.empty());
+
+  // Pool adjacent cells until every pooled cell has expected >=
+  // min_expected (standard validity requirement).
+  std::vector<double> pooled_expected;
+  std::vector<double> pooled_observed;
+  double acc_e = 0.0;
+  double acc_o = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    acc_e += expected[i];
+    acc_o += static_cast<double>(observed[i]);
+    if (acc_e >= min_expected) {
+      pooled_expected.push_back(acc_e);
+      pooled_observed.push_back(acc_o);
+      acc_e = acc_o = 0.0;
+    }
+  }
+  if (acc_e > 0.0 || acc_o > 0.0) {
+    if (pooled_expected.empty()) {
+      pooled_expected.push_back(acc_e);
+      pooled_observed.push_back(acc_o);
+    } else {
+      pooled_expected.back() += acc_e;
+      pooled_observed.back() += acc_o;
+    }
+  }
+
+  ChiSquareResult result;
+  if (pooled_expected.size() < 2) {
+    // No resolution left after pooling; treat as a non-rejection.
+    result.degrees_of_freedom = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  for (size_t i = 0; i < pooled_expected.size(); ++i) {
+    const double diff = pooled_observed[i] - pooled_expected[i];
+    result.statistic += diff * diff / pooled_expected[i];
+  }
+  result.degrees_of_freedom = static_cast<double>(pooled_expected.size() - 1);
+  result.p_value =
+      ChiSquareSurvival(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+ChiSquareResult ChiSquareAgainstProbabilities(
+    const std::vector<uint64_t>& observed, const std::vector<double>& probs,
+    uint64_t trials, double min_expected) {
+  DWRS_CHECK_EQ(observed.size(), probs.size());
+  std::vector<double> expected(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    expected[i] = probs[i] * static_cast<double>(trials);
+  }
+  return ChiSquareGoodnessOfFit(observed, expected, min_expected);
+}
+
+double BinomialTwoSidedPValue(uint64_t successes, uint64_t trials, double p) {
+  DWRS_CHECK_GT(trials, 0u);
+  DWRS_CHECK(p >= 0.0 && p <= 1.0);
+  const double n = static_cast<double>(trials);
+  const double mean = n * p;
+  const double var = n * p * (1.0 - p);
+  if (var == 0.0) {
+    return (static_cast<double>(successes) == mean) ? 1.0 : 0.0;
+  }
+  // Normal approximation with continuity correction.
+  const double diff = std::fabs(static_cast<double>(successes) - mean);
+  const double z = std::max(0.0, diff - 0.5) / std::sqrt(var);
+  return 2.0 * (1.0 - NormalCdf(z));
+}
+
+}  // namespace dwrs

@@ -1,0 +1,35 @@
+// Chi-square goodness of fit, used to verify that samplers realize their
+// claimed inclusion / draw probabilities.
+
+#ifndef DWRS_STATS_CHI_SQUARE_H_
+#define DWRS_STATS_CHI_SQUARE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dwrs {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;
+};
+
+// Goodness-of-fit of observed counts against expected counts (same total).
+// Cells with expected < min_expected are pooled into their neighbor.
+ChiSquareResult ChiSquareGoodnessOfFit(const std::vector<uint64_t>& observed,
+                                       const std::vector<double>& expected,
+                                       double min_expected = 5.0);
+
+// Convenience: observed counts vs a probability vector and total trials.
+ChiSquareResult ChiSquareAgainstProbabilities(
+    const std::vector<uint64_t>& observed, const std::vector<double>& probs,
+    uint64_t trials, double min_expected = 5.0);
+
+// Binomial-proportion z-test p-value (two sided): observed successes out of
+// trials against probability p.
+double BinomialTwoSidedPValue(uint64_t successes, uint64_t trials, double p);
+
+}  // namespace dwrs
+
+#endif  // DWRS_STATS_CHI_SQUARE_H_

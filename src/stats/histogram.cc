@@ -1,0 +1,75 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+Histogram::Histogram(double lo, double hi, int bins, bool log_scale)
+    : lo_(lo), hi_(hi), log_scale_(log_scale), counts_(bins, 0) {
+  DWRS_CHECK_GT(bins, 0);
+  DWRS_CHECK_LT(lo, hi);
+  if (log_scale) DWRS_CHECK_GT(lo, 0.0);
+}
+
+Histogram Histogram::Linear(double lo, double hi, int bins) {
+  return Histogram(lo, hi, bins, /*log_scale=*/false);
+}
+
+Histogram Histogram::Logarithmic(double lo, double hi, int bins) {
+  return Histogram(lo, hi, bins, /*log_scale=*/true);
+}
+
+int Histogram::BinFor(double x) const {
+  const int bins = bin_count();
+  double pos;
+  if (log_scale_) {
+    if (x <= lo_) return 0;
+    pos = (std::log(x) - std::log(lo_)) / (std::log(hi_) - std::log(lo_));
+  } else {
+    pos = (x - lo_) / (hi_ - lo_);
+  }
+  int bin = static_cast<int>(pos * bins);
+  return std::clamp(bin, 0, bins - 1);
+}
+
+void Histogram::Add(double x) {
+  ++counts_[BinFor(x)];
+  ++total_;
+}
+
+double Histogram::bin_lower(int bin) const {
+  DWRS_CHECK(bin >= 0 && bin < bin_count());
+  const double f = static_cast<double>(bin) / bin_count();
+  if (log_scale_) {
+    return std::exp(std::log(lo_) + f * (std::log(hi_) - std::log(lo_)));
+  }
+  return lo_ + f * (hi_ - lo_);
+}
+
+double Histogram::bin_upper(int bin) const {
+  DWRS_CHECK(bin >= 0 && bin < bin_count());
+  const double f = static_cast<double>(bin + 1) / bin_count();
+  if (log_scale_) {
+    return std::exp(std::log(lo_) + f * (std::log(hi_) - std::log(lo_)));
+  }
+  return lo_ + f * (hi_ - lo_);
+}
+
+std::string Histogram::ToString(int width) const {
+  std::ostringstream out;
+  uint64_t max_count = 1;
+  for (uint64_t c : counts_) max_count = std::max(max_count, c);
+  for (int b = 0; b < bin_count(); ++b) {
+    const int bar =
+        static_cast<int>(static_cast<double>(counts_[b]) / max_count * width);
+    out << "[" << bin_lower(b) << ", " << bin_upper(b) << ") "
+        << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dwrs

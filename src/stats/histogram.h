@@ -1,0 +1,46 @@
+// Fixed-bin histogram with linear or logarithmic bins; used by benches to
+// report message / error distributions.
+
+#ifndef DWRS_STATS_HISTOGRAM_H_
+#define DWRS_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dwrs {
+
+class Histogram {
+ public:
+  // Linear bins over [lo, hi); values outside are clamped into the first /
+  // last bin.
+  static Histogram Linear(double lo, double hi, int bins);
+  // Log-spaced bins over [lo, hi), lo > 0.
+  static Histogram Logarithmic(double lo, double hi, int bins);
+
+  void Add(double x);
+
+  int bin_count() const { return static_cast<int>(counts_.size()); }
+  uint64_t count(int bin) const { return counts_[bin]; }
+  uint64_t total() const { return total_; }
+  // Inclusive lower edge of a bin.
+  double bin_lower(int bin) const;
+  double bin_upper(int bin) const;
+  int BinFor(double x) const;
+
+  // Multi-line textual rendering for bench output.
+  std::string ToString(int width = 40) const;
+
+ private:
+  Histogram(double lo, double hi, int bins, bool log_scale);
+
+  double lo_;
+  double hi_;
+  bool log_scale_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_STATS_HISTOGRAM_H_

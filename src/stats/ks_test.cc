@@ -1,0 +1,40 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+KsResult KsTest(std::vector<double> samples,
+                const std::function<double(double)>& cdf) {
+  DWRS_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - lo), std::fabs(hi - f)});
+  }
+  KsResult result;
+  result.statistic = d;
+  // Asymptotic with the Stephens small-sample correction.
+  const double sqrt_n = std::sqrt(n);
+  const double t = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+  result.p_value = KolmogorovSurvival(t);
+  return result;
+}
+
+double ExponentialCdf(double x) { return x <= 0.0 ? 0.0 : -std::expm1(-x); }
+
+double UniformCdf(double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return x;
+}
+
+}  // namespace dwrs

@@ -1,0 +1,26 @@
+// One-sample Kolmogorov-Smirnov test against an arbitrary CDF.
+
+#ifndef DWRS_STATS_KS_TEST_H_
+#define DWRS_STATS_KS_TEST_H_
+
+#include <functional>
+#include <vector>
+
+namespace dwrs {
+
+struct KsResult {
+  double statistic = 0.0;  // sup |F_n - F|
+  double p_value = 1.0;    // asymptotic Kolmogorov p-value
+};
+
+// `samples` may be unsorted; `cdf` must be the continuous target CDF.
+KsResult KsTest(std::vector<double> samples,
+                const std::function<double(double)>& cdf);
+
+// Convenience CDFs.
+double ExponentialCdf(double x);          // rate 1
+double UniformCdf(double x);              // on [0,1]
+
+}  // namespace dwrs
+
+#endif  // DWRS_STATS_KS_TEST_H_

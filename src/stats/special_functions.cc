@@ -1,0 +1,107 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dwrs {
+namespace {
+
+// Series expansion of P(a, x); converges fast for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 1000; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued fraction for Q(a, x); converges fast for x > a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 1000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+}  // namespace
+
+double LogGamma(double x) {
+  DWRS_CHECK_GT(x, 0.0);
+  // Lanczos approximation, g = 7, n = 9.
+  static const double kCoefficients[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double sum = kCoefficients[0];
+  for (int i = 1; i < 9; ++i) sum += kCoefficients[i] / (z + i);
+  const double t = z + 7.5;
+  return 0.5 * std::log(2.0 * M_PI) + (z + 0.5) * std::log(t) - t +
+         std::log(sum);
+}
+
+double RegularizedGammaP(double a, double x) {
+  DWRS_CHECK_GT(a, 0.0);
+  DWRS_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  DWRS_CHECK_GT(a, 0.0);
+  DWRS_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareSurvival(double x, double df) {
+  DWRS_CHECK_GT(df, 0.0);
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(df / 2.0, x / 2.0);
+}
+
+double KolmogorovSurvival(double t) {
+  if (t <= 0.0) return 1.0;
+  if (t < 0.3) return 1.0;  // numerically 1 this far left
+  double sum = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double sign = (j % 2 == 1) ? 1.0 : -1.0;
+    const double term = sign * std::exp(-2.0 * j * j * t * t);
+    sum += term;
+    if (std::fabs(term) < 1e-16) break;
+  }
+  double q = 2.0 * sum;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  return q;
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace dwrs

@@ -1,0 +1,34 @@
+// Special functions needed for goodness-of-fit p-values.
+//
+// Self-contained implementations (Lanczos log-gamma, regularized
+// incomplete gamma via series / continued fraction, Kolmogorov asymptotic
+// distribution) so the statistical tests have no external dependencies.
+
+#ifndef DWRS_STATS_SPECIAL_FUNCTIONS_H_
+#define DWRS_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace dwrs {
+
+// ln Gamma(x) for x > 0.
+double LogGamma(double x);
+
+// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+double RegularizedGammaP(double a, double x);
+
+// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+// Survival function of the chi-square distribution with df degrees of
+// freedom: P(X >= x).
+double ChiSquareSurvival(double x, double df);
+
+// Kolmogorov distribution survival: P(sqrt(n) * D_n >= t) asymptotically,
+// via the alternating theta-series.
+double KolmogorovSurvival(double t);
+
+// Standard normal CDF.
+double NormalCdf(double x);
+
+}  // namespace dwrs
+
+#endif  // DWRS_STATS_SPECIAL_FUNCTIONS_H_

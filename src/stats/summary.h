@@ -1,0 +1,49 @@
+// Streaming summary statistics (Welford) and empirical quantiles.
+
+#ifndef DWRS_STATS_SUMMARY_H_
+#define DWRS_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dwrs {
+
+// Numerically stable running mean/variance/min/max accumulator.
+class Summary {
+ public:
+  void Add(double x);
+  void Merge(const Summary& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Stores samples and answers arbitrary quantile queries by sorting on
+// demand. Fine for benchmark/test sized data.
+class QuantileSketch {
+ public:
+  void Add(double x);
+  // q in [0, 1]; linear interpolation between order statistics.
+  double Quantile(double q) const;
+  uint64_t count() const { return values_.size(); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_STATS_SUMMARY_H_

@@ -1,0 +1,113 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dwrs {
+
+ConstantWeights::ConstantWeights(double value) : value_(value) {
+  DWRS_CHECK_GE(value, 1.0);
+}
+
+double ConstantWeights::WeightAt(uint64_t /*index*/, Rng& /*rng*/) {
+  return value_;
+}
+
+UniformWeights::UniformWeights(double lo, double hi) : lo_(lo), hi_(hi) {
+  DWRS_CHECK_GE(lo, 1.0);
+  DWRS_CHECK_GE(hi, lo);
+}
+
+double UniformWeights::WeightAt(uint64_t /*index*/, Rng& rng) {
+  return lo_ + rng.NextDouble() * (hi_ - lo_);
+}
+
+ZipfWeights::ZipfWeights(uint64_t num_ranks, double alpha)
+    : zipf_(num_ranks, alpha),
+      scale_(std::pow(static_cast<double>(num_ranks), alpha)) {}
+
+double ZipfWeights::WeightAt(uint64_t /*index*/, Rng& rng) {
+  const uint64_t rank = zipf_.Next(rng);
+  // rank^-alpha scaled so the smallest possible weight is exactly 1.
+  return scale_ * std::pow(static_cast<double>(rank), -zipf_.alpha());
+}
+
+ParetoWeights::ParetoWeights(double alpha) : alpha_(alpha) {
+  DWRS_CHECK_GT(alpha, 0.0);
+}
+
+double ParetoWeights::WeightAt(uint64_t /*index*/, Rng& rng) {
+  return std::pow(rng.NextDoubleOpenLeft(), -1.0 / alpha_);
+}
+
+PlantedHeavyWeights::PlantedHeavyWeights(std::unique_ptr<WeightGenerator> base,
+                                         std::vector<uint64_t> positions,
+                                         double heavy_weight)
+    : base_(std::move(base)),
+      positions_(std::move(positions)),
+      heavy_weight_(heavy_weight) {
+  DWRS_CHECK(base_ != nullptr);
+  DWRS_CHECK_GE(heavy_weight_, 1.0);
+  std::sort(positions_.begin(), positions_.end());
+}
+
+double PlantedHeavyWeights::WeightAt(uint64_t index, Rng& rng) {
+  if (std::binary_search(positions_.begin(), positions_.end(), index)) {
+    return heavy_weight_;
+  }
+  return base_->WeightAt(index, rng);
+}
+
+GeometricGrowthWeights::GeometricGrowthWeights(double eps) : eps_(eps) {
+  DWRS_CHECK_GT(eps, 0.0);
+  DWRS_CHECK_LT(eps, 1.0);
+}
+
+double GeometricGrowthWeights::WeightAt(uint64_t index, Rng& /*rng*/) {
+  if (index == 0) return 1.0;
+  // eps * (1+eps)^i, kept >= 1 so the model's weight assumption holds.
+  return std::max(1.0, eps_ * std::pow(1.0 + eps_, static_cast<double>(index)));
+}
+
+EpochPowerWeights::EpochPowerWeights(int sites, double base)
+    : sites_(static_cast<uint64_t>(sites)), base_(base) {
+  DWRS_CHECK_GT(sites, 0);
+  DWRS_CHECK_GT(base, 1.0);
+}
+
+double EpochPowerWeights::WeightAt(uint64_t index, Rng& /*rng*/) {
+  const uint64_t epoch = index / sites_;
+  return std::pow(base_, static_cast<double>(epoch));
+}
+
+DoublingHeavyWeights::DoublingHeavyWeights(uint64_t burst_len)
+    : burst_len_(burst_len) {
+  DWRS_CHECK_GT(burst_len, 0u);
+}
+
+double DoublingHeavyWeights::WeightAt(uint64_t index, Rng& /*rng*/) {
+  DWRS_CHECK_EQ(index, next_expected_)
+      << "; DoublingHeavyWeights must be used sequentially from index 0";
+  ++next_expected_;
+  double w;
+  if (index % (burst_len_ + 1) == 0) {
+    w = std::max(1.0, total_so_far_);  // doubles the stream
+  } else {
+    w = 1.0;
+  }
+  total_so_far_ += w;
+  return w;
+}
+
+std::vector<double> MaterializeWeights(WeightGenerator& gen, uint64_t count,
+                                       Rng& rng) {
+  std::vector<double> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) out.push_back(gen.WeightAt(i, rng));
+  return out;
+}
+
+}  // namespace dwrs

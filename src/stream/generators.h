@@ -1,0 +1,130 @@
+// Weight generators: the synthetic workloads used across tests, benches,
+// and examples. Includes the skewed streams motivating the paper and the
+// adversarial streams from its lower bound constructions (Theorems 5, 7).
+
+#ifndef DWRS_STREAM_GENERATORS_H_
+#define DWRS_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "random/distributions.h"
+#include "random/rng.h"
+#include "stream/item.h"
+
+namespace dwrs {
+
+// Produces the weight of the item at stream position `index` (0-based).
+// Implementations may use the Rng; deterministic generators ignore it.
+class WeightGenerator {
+ public:
+  virtual ~WeightGenerator() = default;
+  virtual double WeightAt(uint64_t index, Rng& rng) = 0;
+};
+
+// All weights equal to `value` (the unweighted special case; the weighted
+// SWOR lower bound of Corollary 2 instantiates this).
+class ConstantWeights : public WeightGenerator {
+ public:
+  explicit ConstantWeights(double value = 1.0);
+  double WeightAt(uint64_t index, Rng& rng) override;
+
+ private:
+  double value_;
+};
+
+// Uniform in [lo, hi].
+class UniformWeights : public WeightGenerator {
+ public:
+  UniformWeights(double lo, double hi);
+  double WeightAt(uint64_t index, Rng& rng) override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+// Weight = rank^-alpha scaled so the minimum weight is >= 1, rank drawn
+// Zipf(alpha) over [1, num_ranks]. Models skewed query / flow streams.
+class ZipfWeights : public WeightGenerator {
+ public:
+  ZipfWeights(uint64_t num_ranks, double alpha);
+  double WeightAt(uint64_t index, Rng& rng) override;
+
+ private:
+  ZipfSampler zipf_;
+  double scale_;
+};
+
+// Pareto(alpha, minimum 1): heavy-tailed weights.
+class ParetoWeights : public WeightGenerator {
+ public:
+  explicit ParetoWeights(double alpha);
+  double WeightAt(uint64_t index, Rng& rng) override;
+
+ private:
+  double alpha_;
+};
+
+// A base generator plus planted heavy items: at each position in
+// `positions`, the weight is `heavy_fraction` times the expected total
+// base weight of the whole stream. Exercises the level-set machinery.
+class PlantedHeavyWeights : public WeightGenerator {
+ public:
+  PlantedHeavyWeights(std::unique_ptr<WeightGenerator> base,
+                      std::vector<uint64_t> positions, double heavy_weight);
+  double WeightAt(uint64_t index, Rng& rng) override;
+
+ private:
+  std::unique_ptr<WeightGenerator> base_;
+  std::vector<uint64_t> positions_;  // sorted
+  double heavy_weight_;
+};
+
+// The Theorem 5 hard stream: w_i = eps * (1+eps)^i (and w_0 = 1), so every
+// arriving item is an eps/2 heavy hitter the moment it arrives.
+class GeometricGrowthWeights : public WeightGenerator {
+ public:
+  explicit GeometricGrowthWeights(double eps);
+  double WeightAt(uint64_t index, Rng& rng) override;
+
+ private:
+  double eps_;
+};
+
+// The Theorem 7 / Theorem 5 second construction: epoch i consists of
+// `sites` items of weight k^i each (site j receives one item per epoch).
+class EpochPowerWeights : public WeightGenerator {
+ public:
+  EpochPowerWeights(int sites, double base);
+  double WeightAt(uint64_t index, Rng& rng) override;
+
+ private:
+  uint64_t sites_;
+  double base_;
+};
+
+// The ablation stream for E5: "doubling heavies" — item at every
+// `burst_len`-boundary has weight equal to the total weight so far
+// (doubling the stream), followed by a burst of unit-weight items. Without
+// level-set withholding the light items in each burst keep beating the
+// depressed threshold.
+class DoublingHeavyWeights : public WeightGenerator {
+ public:
+  explicit DoublingHeavyWeights(uint64_t burst_len);
+  double WeightAt(uint64_t index, Rng& rng) override;
+
+ private:
+  uint64_t burst_len_;
+  double total_so_far_ = 0.0;
+  uint64_t next_expected_ = 0;  // enforces sequential use
+};
+
+// Materializes `count` weights from a generator (positions 0..count-1).
+std::vector<double> MaterializeWeights(WeightGenerator& gen, uint64_t count,
+                                       Rng& rng);
+
+}  // namespace dwrs
+
+#endif  // DWRS_STREAM_GENERATORS_H_

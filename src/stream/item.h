@@ -1,0 +1,23 @@
+// The stream element type of the paper: an identifier with a positive
+// weight. The paper assumes w >= 1 (weights fit a constant number of
+// machine words); generators in this repository respect that.
+
+#ifndef DWRS_STREAM_ITEM_H_
+#define DWRS_STREAM_ITEM_H_
+
+#include <cstdint>
+
+namespace dwrs {
+
+struct Item {
+  uint64_t id = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Item& a, const Item& b) {
+    return a.id == b.id && a.weight == b.weight;
+  }
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_STREAM_ITEM_H_

@@ -1,0 +1,36 @@
+#include "stream/partitioners.h"
+
+#include "util/check.h"
+
+namespace dwrs {
+
+int RoundRobinPartitioner::SiteFor(uint64_t index, int num_sites,
+                                   Rng& /*rng*/) {
+  return static_cast<int>(index % static_cast<uint64_t>(num_sites));
+}
+
+int RandomPartitioner::SiteFor(uint64_t /*index*/, int num_sites, Rng& rng) {
+  return static_cast<int>(rng.NextBounded(static_cast<uint64_t>(num_sites)));
+}
+
+SingleSitePartitioner::SingleSitePartitioner(int site) : site_(site) {
+  DWRS_CHECK_GE(site, 0);
+}
+
+int SingleSitePartitioner::SiteFor(uint64_t /*index*/, int num_sites,
+                                   Rng& /*rng*/) {
+  DWRS_CHECK_LT(site_, num_sites);
+  return site_;
+}
+
+BlockPartitioner::BlockPartitioner(uint64_t block_len)
+    : block_len_(block_len) {
+  DWRS_CHECK_GT(block_len, 0u);
+}
+
+int BlockPartitioner::SiteFor(uint64_t index, int num_sites, Rng& /*rng*/) {
+  return static_cast<int>((index / block_len_) %
+                          static_cast<uint64_t>(num_sites));
+}
+
+}  // namespace dwrs

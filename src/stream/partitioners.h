@@ -1,0 +1,58 @@
+// Partitioners decide which site observes each stream position. The
+// paper's model lets an adversary choose the partitioning; these cover the
+// benign and the adversarial cases used in the analysis.
+
+#ifndef DWRS_STREAM_PARTITIONERS_H_
+#define DWRS_STREAM_PARTITIONERS_H_
+
+#include <cstdint>
+
+#include "random/rng.h"
+
+namespace dwrs {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  // Site index in [0, num_sites) for the item at stream position `index`.
+  virtual int SiteFor(uint64_t index, int num_sites, Rng& rng) = 0;
+};
+
+// index mod k.
+class RoundRobinPartitioner : public Partitioner {
+ public:
+  int SiteFor(uint64_t index, int num_sites, Rng& rng) override;
+};
+
+// Uniformly random site per item.
+class RandomPartitioner : public Partitioner {
+ public:
+  int SiteFor(uint64_t index, int num_sites, Rng& rng) override;
+};
+
+// Everything to one site; degenerate case where the distributed problem
+// collapses to a two-party one.
+class SingleSitePartitioner : public Partitioner {
+ public:
+  explicit SingleSitePartitioner(int site = 0);
+  int SiteFor(uint64_t index, int num_sites, Rng& rng) override;
+
+ private:
+  int site_;
+};
+
+// Contiguous blocks of `block_len` items rotate across sites — the
+// Theorem 7 lower-bound schedule (each site receives its 2k^i updates
+// consecutively within an epoch).
+class BlockPartitioner : public Partitioner {
+ public:
+  explicit BlockPartitioner(uint64_t block_len);
+  int SiteFor(uint64_t index, int num_sites, Rng& rng) override;
+
+ private:
+  uint64_t block_len_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_STREAM_PARTITIONERS_H_

@@ -1,0 +1,84 @@
+#include "stream/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+Workload::Workload(int num_sites, std::vector<WorkloadEvent> events)
+    : num_sites_(num_sites), events_(std::move(events)) {
+  DWRS_CHECK_GT(num_sites, 0);
+  for (const WorkloadEvent& e : events_) {
+    DWRS_CHECK(e.site >= 0 && e.site < num_sites_);
+    DWRS_CHECK_GT(e.item.weight, 0.0);
+  }
+}
+
+double Workload::TotalWeight(uint64_t prefix) const {
+  const uint64_t n = std::min<uint64_t>(prefix, events_.size());
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) total += events_[i].item.weight;
+  return total;
+}
+
+std::vector<double> Workload::PrefixWeights(uint64_t prefix) const {
+  const uint64_t n = std::min<uint64_t>(prefix, events_.size());
+  std::vector<double> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) out.push_back(events_[i].item.weight);
+  return out;
+}
+
+WorkloadBuilder& WorkloadBuilder::num_sites(int k) {
+  num_sites_ = k;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::num_items(uint64_t n) {
+  num_items_ = n;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::seed(uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::weights(
+    std::unique_ptr<WeightGenerator> gen) {
+  weights_ = std::move(gen);
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::partitioner(std::unique_ptr<Partitioner> p) {
+  partitioner_ = std::move(p);
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::integer_weights(bool v) {
+  integer_weights_ = v;
+  return *this;
+}
+
+Workload WorkloadBuilder::Build() {
+  if (!weights_) weights_ = std::make_unique<ConstantWeights>(1.0);
+  if (!partitioner_) partitioner_ = std::make_unique<RoundRobinPartitioner>();
+  Rng weight_rng(seed_);
+  Rng partition_rng(seed_ ^ 0xD1F3A5B7C9E80142ull);
+  std::vector<WorkloadEvent> events;
+  events.reserve(num_items_);
+  for (uint64_t i = 0; i < num_items_; ++i) {
+    WorkloadEvent e;
+    e.site = partitioner_->SiteFor(i, num_sites_, partition_rng);
+    e.item.id = i;
+    double w = weights_->WeightAt(i, weight_rng);
+    if (integer_weights_) w = std::max(1.0, std::round(w));
+    e.item.weight = w;
+    events.push_back(e);
+  }
+  return Workload(num_sites_, std::move(events));
+}
+
+}  // namespace dwrs

@@ -1,0 +1,69 @@
+// A Workload is a fully materialized, replayable distributed stream: the
+// global arrival order of items together with the site that observes each
+// one. Built from a WeightGenerator + Partitioner + seed, so every
+// experiment is reproducible.
+
+#ifndef DWRS_STREAM_WORKLOAD_H_
+#define DWRS_STREAM_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "random/rng.h"
+#include "stream/generators.h"
+#include "stream/item.h"
+#include "stream/partitioners.h"
+
+namespace dwrs {
+
+struct WorkloadEvent {
+  int site = 0;
+  Item item;
+};
+
+class Workload {
+ public:
+  Workload(int num_sites, std::vector<WorkloadEvent> events);
+
+  int num_sites() const { return num_sites_; }
+  uint64_t size() const { return events_.size(); }
+  const WorkloadEvent& event(uint64_t i) const { return events_[i]; }
+  const std::vector<WorkloadEvent>& events() const { return events_; }
+
+  // Total weight of the first `prefix` events (whole stream by default).
+  double TotalWeight(uint64_t prefix = UINT64_MAX) const;
+
+  // Weights of the first `prefix` events in arrival order.
+  std::vector<double> PrefixWeights(uint64_t prefix = UINT64_MAX) const;
+
+ private:
+  int num_sites_;
+  std::vector<WorkloadEvent> events_;
+};
+
+class WorkloadBuilder {
+ public:
+  WorkloadBuilder& num_sites(int k);
+  WorkloadBuilder& num_items(uint64_t n);
+  WorkloadBuilder& seed(uint64_t seed);
+  WorkloadBuilder& weights(std::unique_ptr<WeightGenerator> gen);
+  WorkloadBuilder& partitioner(std::unique_ptr<Partitioner> p);
+  // Round item weights to integers >= 1 (required by the SWR reduction of
+  // Corollary 1).
+  WorkloadBuilder& integer_weights(bool v);
+
+  Workload Build();
+
+ private:
+  int num_sites_ = 4;
+  uint64_t num_items_ = 1000;
+  uint64_t seed_ = 1;
+  bool integer_weights_ = false;
+  std::unique_ptr<WeightGenerator> weights_;
+  std::unique_ptr<Partitioner> partitioner_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_STREAM_WORKLOAD_H_

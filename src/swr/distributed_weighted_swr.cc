@@ -1,0 +1,34 @@
+#include "swr/distributed_weighted_swr.h"
+
+#include <cmath>
+
+namespace dwrs {
+namespace {
+
+SlottedSwrConfig MakeConfig(int num_sites, int sample_size, uint64_t seed,
+                            int delivery_delay) {
+  SlottedSwrConfig config;
+  config.num_sites = num_sites;
+  config.sample_size = sample_size;
+  config.seed = seed;
+  config.delivery_delay = delivery_delay;
+  config.weighted = true;
+  return config;
+}
+
+}  // namespace
+
+DistributedWeightedSwr::DistributedWeightedSwr(int num_sites, int sample_size,
+                                               uint64_t seed,
+                                               int delivery_delay)
+    : impl_(MakeConfig(num_sites, sample_size, seed, delivery_delay)) {}
+
+double Corollary1MessageBound(int num_sites, int sample_size,
+                              double total_weight) {
+  const double k = num_sites;
+  const double s = sample_size;
+  return (k + s * std::log(std::max(2.0, s))) *
+         std::log(std::max(2.0, total_weight)) / std::log(2.0 + k / s);
+}
+
+}  // namespace dwrs

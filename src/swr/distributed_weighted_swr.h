@@ -1,0 +1,44 @@
+// Distributed weighted sampling with replacement (Corollary 1): the
+// duplication reduction to unweighted SWR, realized without materializing
+// duplicates — an item of weight w plays the min of w iid uniforms in
+// each of the s races, and the per-item work is a single Binomial draw
+// plus one message per winning race.
+
+#ifndef DWRS_SWR_DISTRIBUTED_WEIGHTED_SWR_H_
+#define DWRS_SWR_DISTRIBUTED_WEIGHTED_SWR_H_
+
+#include <cstdint>
+
+#include "unweighted/distributed_swr.h"
+
+namespace dwrs {
+
+class DistributedWeightedSwr {
+ public:
+  // Weights must be >= 1 and are conceptually integer (the reduction
+  // duplicates an item w times); the race mathematics extend to real
+  // w >= 1 unchanged.
+  DistributedWeightedSwr(int num_sites, int sample_size, uint64_t seed,
+                         int delivery_delay = 0);
+
+  void Observe(int site, const Item& item) { impl_.Observe(site, item); }
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr) {
+    impl_.Run(workload, on_step);
+  }
+
+  std::vector<Item> Sample() const { return impl_.Sample(); }
+  size_t DistinctInSample() const { return impl_.DistinctInSample(); }
+  const sim::MessageStats& stats() const { return impl_.stats(); }
+
+ private:
+  DistributedSwr impl_;
+};
+
+// Corollary 1 bound (up to constants): (k + s log s) log(W) / log(2+k/s).
+double Corollary1MessageBound(int num_sites, int sample_size,
+                              double total_weight);
+
+}  // namespace dwrs
+
+#endif  // DWRS_SWR_DISTRIBUTED_WEIGHTED_SWR_H_

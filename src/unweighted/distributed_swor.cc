@@ -1,0 +1,106 @@
+#include "unweighted/distributed_swor.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dwrs {
+
+double UsworConfig::ResolvedEpochBase() const {
+  if (epoch_base > 0.0) {
+    DWRS_CHECK_GE(epoch_base, 2.0);
+    return epoch_base;
+  }
+  return EpochBase(num_sites, sample_size);
+}
+
+UsworSite::UsworSite(const UsworConfig& config, int site_index,
+                     sim::Network* network, uint64_t seed)
+    : site_index_(site_index), network_(network), rng_(seed) {
+  DWRS_CHECK(site_index >= 0 && site_index < config.num_sites);
+  DWRS_CHECK(network != nullptr);
+}
+
+void UsworSite::OnItem(const Item& item) {
+  const double key = rng_.NextDoubleOpenLeft();
+  if (key >= tau_hat_) return;
+  sim::Payload msg;
+  msg.type = kUsworCandidate;
+  msg.a = item.id;
+  msg.x = item.weight;  // carried through for interface parity
+  msg.y = key;
+  msg.words = 3;
+  network_->SendToCoordinator(site_index_, msg);
+}
+
+void UsworSite::OnMessage(const sim::Payload& msg) {
+  DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kUsworThreshold));
+  // Thresholds only shrink; ignore stale announcements.
+  if (msg.x < tau_hat_) tau_hat_ = msg.x;
+}
+
+UsworCoordinator::UsworCoordinator(const UsworConfig& config,
+                                   sim::Network* network)
+    : config_(config),
+      base_(config.ResolvedEpochBase()),
+      network_(network),
+      smallest_(static_cast<size_t>(config.sample_size)) {
+  DWRS_CHECK(network != nullptr);
+}
+
+void UsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
+  DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kUsworCandidate));
+  // Keep the s smallest uniform keys by storing negated keys in the
+  // top-key (max side) heap.
+  smallest_.Offer(-msg.y, Item{msg.a, msg.x});
+  if (!smallest_.full()) return;
+  const double tau = -smallest_.MinKey();  // s-th smallest key
+  // Announce the next power r^-j with r^-j >= tau when it shrank below
+  // the previous announcement by at least a factor of r.
+  if (tau >= tau_hat_ / base_) return;
+  const int j = FloorLogBase(1.0 / tau, base_);
+  const double next = 1.0 / PowInt(base_, j);
+  DWRS_CHECK_GE(next, tau);
+  if (next >= tau_hat_) return;
+  tau_hat_ = next;
+  sim::Payload out;
+  out.type = kUsworThreshold;
+  out.x = tau_hat_;
+  out.words = 2;
+  network_->Broadcast(out);
+}
+
+std::vector<Item> UsworCoordinator::Sample() const {
+  std::vector<Item> out;
+  for (const auto& e : smallest_.SortedDescending()) out.push_back(e.value);
+  return out;
+}
+
+DistributedUnweightedSwor::DistributedUnweightedSwor(const UsworConfig& config)
+    : config_(config), runtime_(config.num_sites, config.delivery_delay) {
+  Rng master(config.seed);
+  for (int i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<UsworSite>(config_, i,
+                                                 &runtime_.network(),
+                                                 master.NextU64()));
+    runtime_.AttachSite(i, sites_.back().get());
+  }
+  coordinator_ =
+      std::make_unique<UsworCoordinator>(config_, &runtime_.network());
+  runtime_.AttachCoordinator(coordinator_.get());
+}
+
+void DistributedUnweightedSwor::Observe(int site, const Item& item) {
+  runtime_.Deliver(WorkloadEvent{site, item});
+}
+
+void DistributedUnweightedSwor::Run(
+    const Workload& workload, const std::function<void(uint64_t)>& on_step) {
+  for (uint64_t i = 0; i < workload.size(); ++i) {
+    Observe(workload.event(i).site, workload.event(i).item);
+    if (on_step) on_step(i + 1);
+  }
+}
+
+}  // namespace dwrs

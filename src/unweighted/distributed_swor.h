@@ -1,0 +1,98 @@
+// Distributed UNWEIGHTED sampling without replacement — the classic
+// algorithm of Cormode–Muthukrishnan–Yi–Zhang [14] / Tirthapura–Woodruff
+// [31] / Chung–Tirthapura–Woodruff [11] in its simple key-based form:
+// every item gets a Uniform(0,1) key, the coordinator keeps the s
+// SMALLEST keys, and sites filter against a geometrically decreasing
+// broadcast threshold. Message complexity O(k log(n/s)/log(1+k/s)).
+//
+// This is an independent implementation (uniform keys, min side) used as
+// the substrate the paper builds on and as a cross-check of the weighted
+// sampler in the all-weights-equal case.
+
+#ifndef DWRS_UNWEIGHTED_DISTRIBUTED_SWOR_H_
+#define DWRS_UNWEIGHTED_DISTRIBUTED_SWOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "random/rng.h"
+#include "sampling/top_key_heap.h"
+#include "sim/runtime.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+
+enum UsworMessageType : uint32_t {
+  kUsworCandidate = 1,  // site -> coord: (id, key)
+  kUsworThreshold = 2,  // coord -> all sites: (tau_hat)
+};
+
+struct UsworConfig {
+  int num_sites = 4;
+  int sample_size = 16;
+  uint64_t seed = 1;
+  // Threshold shrink base; 0 selects max{2, k/s} as in the paper.
+  double epoch_base = 0.0;
+  int delivery_delay = 0;
+
+  double ResolvedEpochBase() const;
+};
+
+class UsworSite : public sim::SiteNode {
+ public:
+  UsworSite(const UsworConfig& config, int site_index, sim::Network* network,
+            uint64_t seed);
+
+  void OnItem(const Item& item) override;
+  void OnMessage(const sim::Payload& msg) override;
+
+ private:
+  int site_index_;
+  sim::Network* network_;
+  Rng rng_;
+  double tau_hat_ = 1.0;  // announced filter; keys >= tau_hat are dropped
+};
+
+class UsworCoordinator : public sim::CoordinatorNode {
+ public:
+  UsworCoordinator(const UsworConfig& config, sim::Network* network);
+
+  void OnMessage(int site, const sim::Payload& msg) override;
+
+  // Current unweighted SWOR (size min(t, s)).
+  std::vector<Item> Sample() const;
+
+  double announced_tau() const { return tau_hat_; }
+
+ private:
+  const UsworConfig config_;
+  const double base_;
+  sim::Network* network_;
+  // Max-heap on (1 - key) == keep the s smallest keys: store key' = -key.
+  TopKeyHeap<Item> smallest_;  // keyed by -u so the heap keeps min keys
+  double tau_hat_ = 1.0;
+};
+
+class DistributedUnweightedSwor {
+ public:
+  explicit DistributedUnweightedSwor(const UsworConfig& config);
+
+  void Observe(int site, const Item& item);
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr);
+
+  std::vector<Item> Sample() const { return coordinator_->Sample(); }
+  const sim::MessageStats& stats() const { return runtime_.stats(); }
+
+ private:
+  UsworConfig config_;
+  sim::Runtime runtime_;
+  std::vector<std::unique_ptr<UsworSite>> sites_;
+  std::unique_ptr<UsworCoordinator> coordinator_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_UNWEIGHTED_DISTRIBUTED_SWOR_H_

@@ -1,0 +1,109 @@
+// Distributed sampling WITH replacement as s independent single-sample
+// "races" (Theorem 1, [14]): per race every item receives an independent
+// Uniform(0,1) key — or, for weight w, the MIN of w iid uniforms, which
+// realizes the duplication reduction of Corollary 1 without materializing
+// duplicates — and the coordinator keeps the key-minimizing item of each
+// race. Sites batch the s races into one Binomial draw per item (the
+// speedup described in the proof of Corollary 1).
+//
+// With unit weights this is exactly the unweighted SWR of [14]; the
+// weighted facade lives in swr/distributed_weighted_swr.h.
+
+#ifndef DWRS_UNWEIGHTED_DISTRIBUTED_SWR_H_
+#define DWRS_UNWEIGHTED_DISTRIBUTED_SWR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "random/rng.h"
+#include "sim/runtime.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+
+enum SwrMessageType : uint32_t {
+  kSwrCandidate = 1,  // site -> coord: (race index, id, weight, key)
+  kSwrThreshold = 2,  // coord -> all sites: (tau_hat)
+};
+
+struct SlottedSwrConfig {
+  int num_sites = 4;
+  int sample_size = 16;  // number of independent races s
+  uint64_t seed = 1;
+  // Threshold shrink base; 0 selects 2 + k/s (Theorem 1's log(2+k/s)).
+  double round_base = 0.0;
+  int delivery_delay = 0;
+  // When false, item weights are ignored (unweighted SWR).
+  bool weighted = true;
+
+  double ResolvedRoundBase() const;
+};
+
+class SlottedSwrSite : public sim::SiteNode {
+ public:
+  SlottedSwrSite(const SlottedSwrConfig& config, int site_index,
+                 sim::Network* network, uint64_t seed);
+
+  void OnItem(const Item& item) override;
+  void OnMessage(const sim::Payload& msg) override;
+
+ private:
+  const SlottedSwrConfig config_;
+  int site_index_;
+  sim::Network* network_;
+  Rng rng_;
+  double tau_hat_ = 1.0;
+};
+
+class SlottedSwrCoordinator : public sim::CoordinatorNode {
+ public:
+  SlottedSwrCoordinator(const SlottedSwrConfig& config, sim::Network* network);
+
+  void OnMessage(int site, const sim::Payload& msg) override;
+
+  // One item per race; empty until the first item arrives.
+  std::vector<Item> Sample() const;
+
+  size_t DistinctInSample() const;
+
+ private:
+  struct Race {
+    double min_key = 2.0;  // > any Uniform(0,1) key
+    Item item;
+    bool filled = false;
+  };
+
+  void MaybeAnnounce();
+
+  const SlottedSwrConfig config_;
+  const double base_;
+  sim::Network* network_;
+  std::vector<Race> races_;
+  double tau_hat_ = 1.0;
+};
+
+// Facade running the s races over the simulated network.
+class DistributedSwr {
+ public:
+  explicit DistributedSwr(const SlottedSwrConfig& config);
+
+  void Observe(int site, const Item& item);
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr);
+
+  std::vector<Item> Sample() const { return coordinator_->Sample(); }
+  size_t DistinctInSample() const { return coordinator_->DistinctInSample(); }
+  const sim::MessageStats& stats() const { return runtime_.stats(); }
+
+ private:
+  SlottedSwrConfig config_;
+  sim::Runtime runtime_;
+  std::vector<std::unique_ptr<SlottedSwrSite>> sites_;
+  std::unique_ptr<SlottedSwrCoordinator> coordinator_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_UNWEIGHTED_DISTRIBUTED_SWR_H_

@@ -1,0 +1,18 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dwrs {
+namespace internal_check {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "DWRS_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace dwrs

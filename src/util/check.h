@@ -1,0 +1,67 @@
+// Lightweight runtime assertion macros.
+//
+// DWRS_CHECK is always on (including release builds) and is used to guard
+// API contracts and internal invariants that must never be violated.
+// DWRS_DCHECK compiles away in release builds and is used for hot-path
+// invariants that are too expensive to verify in production.
+
+#ifndef DWRS_UTIL_CHECK_H_
+#define DWRS_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace dwrs {
+namespace internal_check {
+
+// Aborts the process after printing `message` with source location info.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Stream-capturing helper so DWRS_CHECK(x) << "context" works.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace dwrs
+
+#define DWRS_CHECK(condition)                                             \
+  while (!(condition))                                                    \
+  ::dwrs::internal_check::CheckMessageBuilder(__FILE__, __LINE__,         \
+                                              #condition)
+
+#define DWRS_CHECK_GE(a, b) DWRS_CHECK((a) >= (b)) << " got " << (a)
+#define DWRS_CHECK_GT(a, b) DWRS_CHECK((a) > (b)) << " got " << (a)
+#define DWRS_CHECK_LE(a, b) DWRS_CHECK((a) <= (b)) << " got " << (a)
+#define DWRS_CHECK_LT(a, b) DWRS_CHECK((a) < (b)) << " got " << (a)
+#define DWRS_CHECK_EQ(a, b) DWRS_CHECK((a) == (b)) << " got " << (a)
+#define DWRS_CHECK_NE(a, b) DWRS_CHECK((a) != (b)) << " got " << (a)
+
+#ifdef NDEBUG
+#define DWRS_DCHECK(condition) \
+  while (false && !(condition)) \
+  ::dwrs::internal_check::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#else
+#define DWRS_DCHECK(condition) DWRS_CHECK(condition)
+#endif
+
+#endif  // DWRS_UTIL_CHECK_H_

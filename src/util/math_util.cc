@@ -1,0 +1,67 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+int FloorLogBase(double x, double base) {
+  DWRS_CHECK_GT(base, 1.0);
+  if (x < base) return 0;
+  int j = static_cast<int>(std::floor(std::log(x) / std::log(base)));
+  // Guard against floating point rounding at boundaries: adjust so that
+  // base^j <= x < base^(j+1) holds exactly with PowInt.
+  while (j > 0 && PowInt(base, j) > x) --j;
+  while (PowInt(base, j + 1) <= x) ++j;
+  return j;
+}
+
+double PowInt(double base, int j) {
+  DWRS_CHECK_GE(j, 0);
+  double result = 1.0;
+  double b = base;
+  unsigned e = static_cast<unsigned>(j);
+  while (e > 0) {
+    if (e & 1u) result *= b;
+    b *= b;
+    e >>= 1u;
+  }
+  return result;
+}
+
+int FloorLog2U64(uint64_t x) {
+  if (x == 0) return 0;
+  return 63 - __builtin_clzll(x);
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+bool AlmostEqual(double a, double b, double tol) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+double EpochBase(int num_sites, int sample_size) {
+  DWRS_CHECK_GT(num_sites, 0);
+  DWRS_CHECK_GT(sample_size, 0);
+  return std::max(2.0, static_cast<double>(num_sites) / sample_size);
+}
+
+double Theorem3MessageBound(int num_sites, int sample_size,
+                            double total_weight) {
+  double k = num_sites;
+  double s = sample_size;
+  double w_over_s = std::max(2.0, total_weight / s);
+  return k * std::log(w_over_s) / std::log(1.0 + k / s);
+}
+
+double NaiveMessageBound(int num_sites, int sample_size, double total_weight) {
+  double k = num_sites;
+  double s = sample_size;
+  return k * s * std::log(std::max(2.0, total_weight));
+}
+
+}  // namespace dwrs

@@ -1,0 +1,43 @@
+// Small numeric helpers shared across modules.
+
+#ifndef DWRS_UTIL_MATH_UTIL_H_
+#define DWRS_UTIL_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace dwrs {
+
+// Returns floor(log(x) / log(base)) clamped to >= 0; the "level" of a
+// weight in the paper's Definition 4 with level base `base`.
+int FloorLogBase(double x, double base);
+
+// Returns base^j computed by repeated multiplication for small integer j
+// (exact for the powers that fit a double without rounding surprises).
+double PowInt(double base, int j);
+
+// log2 of an unsigned integer (floor); 0 maps to 0.
+int FloorLog2U64(uint64_t x);
+
+// Numerically stable log(1+x).
+inline double Log1p(double x) { return std::log1p(x); }
+
+// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+// Returns true when |a - b| <= tol * max(1, |a|, |b|).
+bool AlmostEqual(double a, double b, double tol);
+
+// The paper's epoch/level base r = max{2, k/s}.
+double EpochBase(int num_sites, int sample_size);
+
+// Theoretical expected message bound of Theorem 3 (up to constants):
+// k * log(W/s) / log(1 + k/s).
+double Theorem3MessageBound(int num_sites, int sample_size, double total_weight);
+
+// Naive baseline expectation (Section 1.2): ~ k*s*log(W).
+double NaiveMessageBound(int num_sites, int sample_size, double total_weight);
+
+}  // namespace dwrs
+
+#endif  // DWRS_UTIL_MATH_UTIL_H_

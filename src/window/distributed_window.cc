@@ -1,0 +1,125 @@
+#include "window/distributed_window.h"
+
+#include <algorithm>
+
+#include "random/distributions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+WindowSite::WindowSite(const WindowConfig& config, int site_index,
+                       sim::Network* network, uint64_t seed)
+    : config_(config),
+      site_index_(site_index),
+      network_(network),
+      rng_(seed),
+      skyline_(config.sample_size, config.window) {
+  DWRS_CHECK(network != nullptr);
+}
+
+void WindowSite::ForwardNewTopEntries() {
+  const uint64_t now = network_->step();
+  for (size_t idx : skyline_.TopIndices(now)) {
+    const KeySkyline::Entry& e = skyline_.entries()[idx];
+    if (forwarded_.contains(e.item.id)) continue;
+    forwarded_.insert(e.item.id);
+    DWRS_CHECK_LT(e.item.id, 1ull << 40);
+    DWRS_CHECK_LT(e.step, 1ull << 24);
+    sim::Payload msg;
+    msg.type = kWindowCandidate;
+    msg.a = (e.step << 40) | e.item.id;  // arrival step rides along
+    msg.x = e.item.weight;
+    msg.y = e.key;
+    msg.words = 4;
+    network_->SendToCoordinator(site_index_, msg);
+  }
+  // Forget ids that can never be forwarded again (left the window) to
+  // keep the set small.
+  if (forwarded_.size() > 4 * config_.window) {
+    std::unordered_set<uint64_t> live;
+    for (const auto& e : skyline_.entries()) {
+      if (forwarded_.contains(e.item.id)) live.insert(e.item.id);
+    }
+    forwarded_ = std::move(live);
+  }
+}
+
+void WindowSite::OnItem(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  const uint64_t now = network_->step();
+  skyline_.ExpireUpTo(now);
+  skyline_.Add(now, item, item.weight / Exponential(rng_));
+  // Expiries can promote older entries into the local top-s, and the new
+  // arrival may enter it directly; forward anything newly promoted.
+  ForwardNewTopEntries();
+}
+
+void WindowSite::OnRound(uint64_t step) {
+  if (skyline_.size() == 0) return;
+  // Only act when the oldest entry actually left the window (a promotion
+  // can only happen via an expiry).
+  if (skyline_.entries().front().step + config_.window > step) return;
+  skyline_.ExpireUpTo(step);
+  ForwardNewTopEntries();
+}
+
+void WindowSite::OnMessage(const sim::Payload& msg) {
+  DWRS_CHECK(false) << " window sites receive no messages, got type "
+                    << msg.type;
+}
+
+WindowCoordinator::WindowCoordinator(const WindowConfig& config,
+                                     sim::Network* network)
+    : network_(network), skyline_(config.sample_size, config.window) {
+  DWRS_CHECK(network != nullptr);
+}
+
+void WindowCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
+  DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kWindowCandidate));
+  const uint64_t arrival_step = msg.a >> 40;
+  const uint64_t id = msg.a & ((1ull << 40) - 1);
+  skyline_.ExpireUpTo(network_->step());
+  // Insert at the item's ORIGINAL arrival step so its expiry is exact
+  // even when it was promoted (and forwarded) later.
+  skyline_.Add(arrival_step, Item{id, msg.x}, msg.y);
+}
+
+std::vector<KeyedItem> WindowCoordinator::Sample() const {
+  return skyline_.Sample(network_->step());
+}
+
+DistributedWindowWswor::DistributedWindowWswor(const WindowConfig& config)
+    : config_(config), runtime_(config.num_sites) {
+  Rng master(config.seed);
+  for (int i = 0; i < config.num_sites; ++i) {
+    sites_.push_back(std::make_unique<WindowSite>(
+        config_, i, &runtime_.network(), master.NextU64()));
+    runtime_.AttachSite(i, sites_.back().get());
+    runtime_.AttachTicker(sites_.back().get());
+  }
+  coordinator_ =
+      std::make_unique<WindowCoordinator>(config_, &runtime_.network());
+  runtime_.AttachCoordinator(coordinator_.get());
+}
+
+void DistributedWindowWswor::Observe(int site, const Item& item) {
+  runtime_.Deliver(WorkloadEvent{site, item});
+}
+
+void DistributedWindowWswor::Run(
+    const Workload& workload, const std::function<void(uint64_t)>& on_step) {
+  for (uint64_t i = 0; i < workload.size(); ++i) {
+    Observe(workload.event(i).site, workload.event(i).item);
+    if (on_step) on_step(i + 1);
+  }
+}
+
+size_t DistributedWindowWswor::MaxSiteSkyline() const {
+  size_t max_size = 0;
+  for (const auto& site : sites_) {
+    max_size = std::max(max_size, site->SkylineSize());
+  }
+  return max_size;
+}
+
+}  // namespace dwrs

@@ -1,0 +1,77 @@
+#include "window/skyline.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+KeySkyline::KeySkyline(int sample_size, uint64_t window)
+    : sample_size_(sample_size), window_(window) {
+  DWRS_CHECK_GT(sample_size, 0);
+  DWRS_CHECK_GT(window, 0u);
+}
+
+void KeySkyline::Add(uint64_t step, const Item& item, double key) {
+  // The newcomer beats every OLDER retained entry with a smaller key (an
+  // entry beaten s times can never again be in a window top-s), and is
+  // itself beaten by every NEWER retained entry with a larger key.
+  int my_beaten = 0;
+  size_t kept = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (e.step > step) {
+      if (e.key > key) ++my_beaten;
+    } else if (e.key < key) {
+      ++e.beaten;
+    }
+    if (e.beaten < sample_size_) {
+      if (kept != i) entries_[kept] = entries_[i];
+      ++kept;
+    }
+  }
+  entries_.resize(kept);
+  if (my_beaten >= sample_size_) return;  // dead on arrival
+  const Entry entry{step, item, key, my_beaten};
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), step,
+      [](uint64_t s, const Entry& e) { return s < e.step; });
+  entries_.insert(pos, entry);
+}
+
+void KeySkyline::ExpireUpTo(uint64_t now) {
+  size_t first_live = 0;
+  while (first_live < entries_.size() &&
+         !InWindow(entries_[first_live].step, now)) {
+    ++first_live;
+  }
+  if (first_live > 0) {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<long>(first_live));
+  }
+}
+
+std::vector<size_t> KeySkyline::TopIndices(uint64_t now) const {
+  std::vector<size_t> live;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (InWindow(entries_[i].step, now)) live.push_back(i);
+  }
+  const size_t take =
+      std::min(live.size(), static_cast<size_t>(sample_size_));
+  std::partial_sort(live.begin(), live.begin() + static_cast<long>(take),
+                    live.end(), [this](size_t a, size_t b) {
+                      return entries_[a].key > entries_[b].key;
+                    });
+  live.resize(take);
+  return live;
+}
+
+std::vector<KeyedItem> KeySkyline::Sample(uint64_t now) const {
+  std::vector<KeyedItem> out;
+  for (size_t i : TopIndices(now)) {
+    out.push_back(KeyedItem{entries_[i].item, entries_[i].key});
+  }
+  return out;
+}
+
+}  // namespace dwrs

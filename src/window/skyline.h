@@ -1,0 +1,70 @@
+// Key skyline for sliding-window weighted sampling (the paper's Section 6
+// names the sliding-window extension as an open direction; this module
+// provides the standard skyline construction on top of the same
+// exponential keys).
+//
+// An item is *useful* for some window iff fewer than s later items carry
+// larger keys: once s newer items beat it, it can never re-enter any
+// future window's top-s. The skyline retains exactly the useful items;
+// its expected size is O(s log(window/s)).
+
+#ifndef DWRS_WINDOW_SKYLINE_H_
+#define DWRS_WINDOW_SKYLINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sampling/keyed_item.h"
+#include "stream/item.h"
+
+namespace dwrs {
+
+class KeySkyline {
+ public:
+  // `sample_size` is s; `window` the number of most recent steps that
+  // constitute the active window.
+  KeySkyline(int sample_size, uint64_t window);
+
+  // Records an item with its (already drawn) key at global time `step`.
+  // Out-of-order steps are supported (a distributed site may promote and
+  // forward an old item after newer ones); entries stay sorted by step.
+  void Add(uint64_t step, const Item& item, double key);
+
+  // Drops entries that have left the window as of time `now`.
+  void ExpireUpTo(uint64_t now);
+
+  // The weighted SWOR of the current window: top-s keys among retained,
+  // unexpired entries, descending. `now` is the current global time.
+  std::vector<KeyedItem> Sample(uint64_t now) const;
+
+  // All retained entries (sorted by step). Used by the distributed site
+  // to detect items entering the local top-s.
+  struct Entry {
+    uint64_t step = 0;
+    Item item;
+    double key = 0.0;
+    int beaten = 0;  // newer items with larger keys
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  size_t size() const { return entries_.size(); }
+  int sample_size() const { return sample_size_; }
+  uint64_t window() const { return window_; }
+
+  // Indices (into entries()) of the current top-s by key at time `now`.
+  std::vector<size_t> TopIndices(uint64_t now) const;
+
+ private:
+  bool InWindow(uint64_t step, uint64_t now) const {
+    return step + window_ > now;
+  }
+
+  int sample_size_;
+  uint64_t window_;
+  std::vector<Entry> entries_;  // sorted by step
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_WINDOW_SKYLINE_H_

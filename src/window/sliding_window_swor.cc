@@ -1,0 +1,23 @@
+#include "window/sliding_window_swor.h"
+
+#include "random/distributions.h"
+#include "util/check.h"
+
+namespace dwrs {
+
+SlidingWindowWswor::SlidingWindowWswor(int sample_size, uint64_t window,
+                                       uint64_t seed)
+    : rng_(seed), skyline_(sample_size, window) {}
+
+void SlidingWindowWswor::Add(const Item& item) {
+  DWRS_CHECK_GT(item.weight, 0.0);
+  ++count_;
+  skyline_.ExpireUpTo(count_);
+  skyline_.Add(count_, item, item.weight / Exponential(rng_));
+}
+
+std::vector<KeyedItem> SlidingWindowWswor::Sample() const {
+  return skyline_.Sample(count_);
+}
+
+}  // namespace dwrs

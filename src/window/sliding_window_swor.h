@@ -1,0 +1,40 @@
+// Centralized sliding-window weighted SWOR: at every point the sample is
+// an exact weighted SWOR of the items that arrived within the last
+// `window` steps, using per-item exponential keys and the skyline of
+// potentially-useful items (O(s log(window)) expected space).
+
+#ifndef DWRS_WINDOW_SLIDING_WINDOW_SWOR_H_
+#define DWRS_WINDOW_SLIDING_WINDOW_SWOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "sampling/keyed_item.h"
+#include "stream/item.h"
+#include "window/skyline.h"
+
+namespace dwrs {
+
+class SlidingWindowWswor {
+ public:
+  SlidingWindowWswor(int sample_size, uint64_t window, uint64_t seed);
+
+  // Each Add advances time by one step (sequence-based window).
+  void Add(const Item& item);
+
+  // Weighted SWOR over the current window (size min(filled, s)).
+  std::vector<KeyedItem> Sample() const;
+
+  uint64_t count() const { return count_; }
+  size_t SkylineSize() const { return skyline_.size(); }
+
+ private:
+  Rng rng_;
+  uint64_t count_ = 0;
+  KeySkyline skyline_;
+};
+
+}  // namespace dwrs
+
+#endif  // DWRS_WINDOW_SLIDING_WINDOW_SWOR_H_

@@ -1,0 +1,156 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hh/misra_gries.h"
+#include "sampling/cascade.h"
+#include "stream/workload.h"
+#include "test_util.h"
+
+namespace dwrs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cascade sampler ([7]).
+
+TEST(CascadeTest, HoldsTopKeysInStageOrder) {
+  CascadeSampler cascade(4, 1);
+  for (uint64_t i = 0; i < 100; ++i) cascade.Add(Item{i, 1.0 + (i % 5)});
+  const auto sample = cascade.Sample();
+  ASSERT_EQ(sample.size(), 4u);
+  for (size_t i = 1; i < sample.size(); ++i) {
+    EXPECT_GT(sample[i - 1].key, sample[i].key);
+  }
+  std::set<uint64_t> ids;
+  for (const auto& ki : sample) ids.insert(ki.item.id);
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(CascadeTest, FewerItemsThanStages) {
+  CascadeSampler cascade(8, 2);
+  cascade.Add(Item{0, 1.0});
+  cascade.Add(Item{1, 2.0});
+  EXPECT_EQ(cascade.Sample().size(), 2u);
+}
+
+TEST(CascadeTest, ExactSetDistribution) {
+  const std::vector<double> weights = {1.0, 5.0, 2.0, 3.0, 1.0, 8.0};
+  const int s = 2;
+  const auto result = testing::SworSetGoodnessOfFit(
+      weights, s, 20000, [&](int t) {
+        CascadeSampler cascade(s, 7000 + static_cast<uint64_t>(t));
+        for (uint64_t i = 0; i < weights.size(); ++i) {
+          cascade.Add(Item{i, weights[i]});
+        }
+        std::vector<uint64_t> ids;
+        for (const auto& ki : cascade.Sample()) ids.push_back(ki.item.id);
+        return ids;
+      });
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(CascadeTest, AmortizedHopsLogarithmic) {
+  const int s = 16;
+  CascadeSampler cascade(s, 3);
+  const uint64_t n = 100000;
+  Rng rng(4);
+  for (uint64_t i = 0; i < n; ++i) {
+    cascade.Add(Item{i, 1.0 + rng.NextDouble() * 9.0});
+  }
+  // Expected chain entries ~ s * ln(n/s); each costs <= s hops.
+  const double entries_bound = s * std::log(static_cast<double>(n));
+  EXPECT_LT(cascade.cascade_hops(),
+            static_cast<uint64_t>(4.0 * s * entries_bound) + 10 * s);
+}
+
+// ---------------------------------------------------------------------------
+// Misra-Gries.
+
+TEST(MisraGriesTest, ExactBelowCapacity) {
+  MisraGries mg(8);
+  mg.Add(1, 5.0);
+  mg.Add(2, 3.0);
+  mg.Add(1, 2.0);
+  EXPECT_DOUBLE_EQ(mg.EstimateOf(1), 7.0);
+  EXPECT_DOUBLE_EQ(mg.EstimateOf(2), 3.0);
+  EXPECT_DOUBLE_EQ(mg.error_bound(), 0.0);
+}
+
+TEST(MisraGriesTest, UnderestimatesWithinBound) {
+  MisraGries mg(9);
+  std::vector<double> truth(200, 0.0);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t id = rng.NextBounded(200);
+    const double w = 1.0 + static_cast<double>(rng.NextBounded(3));
+    truth[id] += w;
+    mg.Add(id, w);
+  }
+  // MG guarantee: true - W/(c+1) <= estimate <= true.
+  for (uint64_t id = 0; id < 200; ++id) {
+    const double est = mg.EstimateOf(id);
+    EXPECT_LE(est, truth[id] + 1e-9);
+    EXPECT_GE(est, truth[id] - mg.total_weight() / 10.0 - 1e-9);
+  }
+  EXPECT_LE(mg.error_bound(), mg.total_weight() / 10.0 + 1e-9);
+}
+
+TEST(MisraGriesTest, FindsDominantItem) {
+  MisraGries mg(4);
+  Rng rng(6);
+  for (int i = 0; i < 3000; ++i) {
+    mg.Add(rng.NextBounded(500), 1.0);
+    mg.Add(31337, 2.0);
+  }
+  ASSERT_FALSE(mg.Entries().empty());
+  EXPECT_EQ(mg.Entries()[0].id, 31337u);
+}
+
+TEST(MisraGriesTest, MergePreservesGuarantee) {
+  MisraGries a(8), b(8);
+  std::vector<double> truth(100, 0.0);
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t id = rng.NextBounded(100);
+    truth[id] += 1.0;
+    (i % 2 == 0 ? a : b).Add(id, 1.0);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 4000.0);
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_LE(a.EstimateOf(id), truth[id] + 1e-9);
+    EXPECT_GE(a.EstimateOf(id), truth[id] - a.error_bound() - 1e-9);
+  }
+}
+
+TEST(DistributedMgHhTest, FindsHeavyHittersWithPeriodicSync) {
+  // Repeating ids so aggregation matters: id = index % 50, with id 7
+  // receiving 10x weight.
+  std::vector<WorkloadEvent> events;
+  Rng rng(8);
+  for (uint64_t i = 0; i < 20000; ++i) {
+    const uint64_t id = i % 50;
+    events.push_back(WorkloadEvent{
+        static_cast<int>(rng.NextBounded(4)),
+        Item{id, id == 7 ? 50.0 : 1.0}});
+  }
+  const Workload w(4, std::move(events));
+  DistributedMgHh tracker(4, /*capacity=*/20, /*sync_every=*/500);
+  tracker.Run(w);
+  const auto hh = tracker.HeavyHitters(0.1);
+  ASSERT_FALSE(hh.empty());
+  EXPECT_EQ(hh[0].id, 7u);
+  // Message cost: (n / sync_every) * (capacity + 1) per site roughly.
+  EXPECT_LT(tracker.stats().total_messages(), 20000u / 10u);
+}
+
+TEST(DistributedMgHhTest, NoSyncNoReport) {
+  DistributedMgHh tracker(2, 8, /*sync_every=*/1000000);
+  tracker.Observe(0, Item{1, 100.0});
+  EXPECT_TRUE(tracker.HeavyHitters(0.5).empty());
+  EXPECT_EQ(tracker.stats().total_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace dwrs

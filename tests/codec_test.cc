@@ -1,0 +1,134 @@
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "random/rng.h"
+#include "sim/codec.h"
+
+namespace dwrs {
+namespace {
+
+using sim::DecodePayload;
+using sim::EncodePayload;
+using sim::GetVarint;
+using sim::Payload;
+using sim::PutVarint;
+
+TEST(VarintTest, RoundTripSmallAndLarge) {
+  const std::vector<uint64_t> cases = {
+      0, 1, 127, 128, 300, 1ull << 20, 1ull << 40, UINT64_MAX};
+  for (uint64_t x : cases) {
+    std::vector<uint8_t> buf;
+    PutVarint(&buf, x);
+    size_t pos = 0;
+    const auto decoded = GetVarint(buf, &pos);
+    ASSERT_TRUE(decoded.has_value()) << x;
+    EXPECT_EQ(*decoded, x);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  std::vector<uint8_t> buf;
+  PutVarint(&buf, 42);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(VarintTest, TruncationDetected) {
+  std::vector<uint8_t> buf;
+  PutVarint(&buf, 1ull << 40);
+  buf.pop_back();
+  size_t pos = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos).has_value());
+}
+
+TEST(VarintTest, OverlongEncodingRejected) {
+  std::vector<uint8_t> buf(11, 0x80);  // 11 continuation bytes
+  size_t pos = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos).has_value());
+}
+
+TEST(CodecTest, PayloadRoundTrip) {
+  Payload msg;
+  msg.type = 3;
+  msg.a = 123456789;
+  msg.x = 2.5;
+  msg.y = 3.14159e12;
+  const auto bytes = EncodePayload(msg);
+  const auto decoded = DecodePayload(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, msg.type);
+  EXPECT_EQ(decoded->a, msg.a);
+  EXPECT_DOUBLE_EQ(decoded->x, msg.x);
+  EXPECT_DOUBLE_EQ(decoded->y, msg.y);
+}
+
+TEST(CodecTest, OmitsZeroDoubles) {
+  Payload epoch_update;
+  epoch_update.type = 4;
+  epoch_update.a = 0;
+  epoch_update.x = 0.0;
+  epoch_update.y = 0.0;
+  // type + a + flags = 3 bytes only.
+  EXPECT_EQ(EncodePayload(epoch_update).size(), 3u);
+  Payload with_x = epoch_update;
+  with_x.x = 8.0;
+  EXPECT_EQ(EncodePayload(with_x).size(), 11u);
+}
+
+TEST(CodecTest, EncodedSizeWithinWordAccounting) {
+  // The paper counts <= 4 machine words per message; the wire encoding
+  // must fit in that budget (32 bytes) for every protocol message shape.
+  for (uint32_t type : {1u, 2u, 3u, 4u}) {
+    Payload msg;
+    msg.type = type;
+    msg.a = (1ull << 40) - 1;
+    msg.x = 1.7976931348623157e308;
+    msg.y = 4.9e-324;
+    EXPECT_LE(sim::EncodedSize(msg), 32u);
+  }
+}
+
+TEST(CodecTest, RejectsMalformedInputs) {
+  EXPECT_FALSE(DecodePayload({}).has_value());
+  EXPECT_FALSE(DecodePayload({0x01}).has_value());           // missing a
+  EXPECT_FALSE(DecodePayload({0x01, 0x02}).has_value());     // missing flags
+  EXPECT_FALSE(DecodePayload({0x01, 0x02, 0x04}).has_value());  // bad flags
+  EXPECT_FALSE(
+      DecodePayload({0x01, 0x02, 0x01, 0xAA}).has_value());  // short double
+  // Trailing garbage after a valid message.
+  Payload msg;
+  msg.type = 1;
+  msg.a = 7;
+  auto bytes = EncodePayload(msg);
+  bytes.push_back(0x00);
+  EXPECT_FALSE(DecodePayload(bytes).has_value());
+}
+
+TEST(CodecTest, FuzzRoundTrip) {
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    Payload msg;
+    msg.type = static_cast<uint32_t>(rng.NextBounded(16));
+    msg.a = rng.NextU64() >> static_cast<int>(rng.NextBounded(64));
+    msg.x = rng.NextBit() ? rng.NextDouble() * 1e9 : 0.0;
+    msg.y = rng.NextBit() ? rng.NextDouble() : 0.0;
+    const auto decoded = DecodePayload(EncodePayload(msg));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, msg.type);
+    EXPECT_EQ(decoded->a, msg.a);
+    EXPECT_DOUBLE_EQ(decoded->x, msg.x);
+    EXPECT_DOUBLE_EQ(decoded->y, msg.y);
+  }
+}
+
+TEST(CodecTest, FuzzDecodeNeverCrashes) {
+  Rng rng(78);
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint8_t> bytes(rng.NextBounded(24));
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextU64());
+    (void)DecodePayload(bytes);  // must not crash or UB; result optional
+  }
+}
+
+}  // namespace
+}  // namespace dwrs

@@ -1,0 +1,108 @@
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "estimators/swor_estimators.h"
+#include "sampling/efraimidis_spirakis.h"
+#include "stats/summary.h"
+
+namespace dwrs {
+namespace {
+
+ThresholdedSample DrawSample(const std::vector<double>& weights, int s,
+                             uint64_t seed) {
+  // Keep s+1 keys; split into sample + threshold.
+  CentralizedWswor sampler(s + 1, seed);
+  for (uint64_t i = 0; i < weights.size(); ++i) {
+    sampler.Add(Item{i, weights[i]});
+  }
+  return MakeThresholdedSample(sampler.Sample());
+}
+
+TEST(EstimatorsTest, InclusionProbabilityBasics) {
+  EXPECT_DOUBLE_EQ(InclusionProbability(5.0, 0.0), 1.0);
+  EXPECT_NEAR(InclusionProbability(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_GT(InclusionProbability(10.0, 1.0), InclusionProbability(1.0, 1.0));
+  EXPECT_NEAR(InclusionProbability(1e9, 1.0), 1.0, 1e-12);
+}
+
+TEST(EstimatorsTest, ExactWhenSampleCoversEverything) {
+  // tau = 0 (the caller knows the sample covers the whole stream):
+  // estimates degenerate to exact sums.
+  ThresholdedSample full;
+  full.tau = 0.0;
+  full.top = {{Item{0, 3.0}, 5.0}, {Item{1, 7.0}, 4.0}};
+  EXPECT_DOUBLE_EQ(EstimateTotalWeight(full), 10.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSubsetCount(full, [](const Item&) { return true; }), 2.0);
+}
+
+TEST(EstimatorsTest, TotalWeightUnbiased) {
+  std::vector<double> weights;
+  double truth = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    weights.push_back(1.0 + (i * 31 % 17));
+    truth += weights.back();
+  }
+  Summary estimates;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    estimates.Add(EstimateTotalWeight(DrawSample(weights, 32, 500 + t)));
+  }
+  EXPECT_NEAR(estimates.mean(), truth,
+              5.0 * estimates.stddev() / std::sqrt(trials));
+  // And reasonably concentrated.
+  EXPECT_LT(estimates.stddev() / truth, 0.35);
+}
+
+TEST(EstimatorsTest, SubsetSumUnbiased) {
+  std::vector<double> weights;
+  double even_truth = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    weights.push_back(1.0 + (i % 9));
+    if (i % 2 == 0) even_truth += weights.back();
+  }
+  Summary estimates;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    const auto ts = DrawSample(weights, 24, 900 + t);
+    estimates.Add(EstimateSubsetSum(
+        ts, [](const Item& item) { return item.id % 2 == 0; }));
+  }
+  EXPECT_NEAR(estimates.mean(), even_truth,
+              5.0 * estimates.stddev() / std::sqrt(trials));
+}
+
+TEST(EstimatorsTest, SubsetCountUnbiased) {
+  std::vector<double> weights(100, 0.0);
+  for (int i = 0; i < 100; ++i) weights[i] = (i < 10) ? 50.0 : 1.0;
+  Summary estimates;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    const auto ts = DrawSample(weights, 20, 1300 + t);
+    // Count the light items (ids >= 10): truth is 90.
+    estimates.Add(EstimateSubsetCount(
+        ts, [](const Item& item) { return item.id >= 10; }));
+  }
+  EXPECT_NEAR(estimates.mean(), 90.0,
+              5.0 * estimates.stddev() / std::sqrt(trials));
+}
+
+TEST(EstimatorsTest, HeavyItemsEstimatedNearExactly) {
+  // Items far above tau have inclusion probability ~1 and contribute
+  // their exact weight.
+  std::vector<double> weights(64, 1.0);
+  weights[7] = 1e6;
+  const auto ts = DrawSample(weights, 16, 42);
+  const double heavy = EstimateSubsetSum(
+      ts, [](const Item& item) { return item.id == 7; });
+  EXPECT_NEAR(heavy, 1e6, 1.0);
+}
+
+TEST(EstimatorsDeathTest, RejectsUnsortedSample) {
+  std::vector<KeyedItem> bad = {{Item{0, 1.0}, 1.0}, {Item{1, 1.0}, 2.0}};
+  EXPECT_DEATH(MakeThresholdedSample(bad), "descending");
+}
+
+}  // namespace
+}  // namespace dwrs

@@ -1,0 +1,238 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hh/exact_hh.h"
+#include "hh/residual_hh.h"
+#include "hh/space_saving.h"
+#include "hh/swr_hh.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exact oracles.
+
+TEST(ExactHhTest, ResidualWeight) {
+  const std::vector<double> w = {10.0, 1.0, 5.0, 2.0};
+  EXPECT_DOUBLE_EQ(ResidualWeight(w, 0), 18.0);
+  EXPECT_DOUBLE_EQ(ResidualWeight(w, 1), 8.0);
+  EXPECT_DOUBLE_EQ(ResidualWeight(w, 2), 3.0);
+  EXPECT_DOUBLE_EQ(ResidualWeight(w, 4), 0.0);
+  EXPECT_DOUBLE_EQ(ResidualWeight(w, 10), 0.0);
+}
+
+TEST(ExactHhTest, PlainHeavyHitters) {
+  const std::vector<double> w = {50.0, 1.0, 30.0, 19.0};  // total 100
+  const auto hh = ExactHeavyHitters(w, 0.2);
+  EXPECT_EQ(hh, (std::vector<uint64_t>{0, 2}));
+}
+
+TEST(ExactHhTest, ResidualHeavyHittersStricter) {
+  // One mega item of 1000 masking eleven 10s over fifty 1s; eps = 0.1.
+  // tail(10) removes the mega and nine 10s -> residual = 70, threshold 7.
+  std::vector<double> w = {1000.0};
+  for (int i = 0; i < 11; ++i) w.push_back(10.0);
+  for (int i = 0; i < 50; ++i) w.push_back(1.0);
+  const auto plain = ExactHeavyHitters(w, 0.1);
+  const auto residual = ExactResidualHeavyHitters(w, 0.1);
+  // Plain eps-HH only finds the mega item; residual also finds the 5s.
+  EXPECT_EQ(plain.size(), 1u);
+  EXPECT_GT(residual.size(), 5u);
+  for (uint64_t id : plain) {
+    EXPECT_TRUE(std::find(residual.begin(), residual.end(), id) !=
+                residual.end())
+        << "residual guarantee must subsume the plain one";
+  }
+}
+
+TEST(ExactHhTest, ResidualDegenerateAllHeavy) {
+  const std::vector<double> w = {5.0, 6.0};
+  const auto residual = ExactResidualHeavyHitters(w, 0.5);
+  EXPECT_TRUE(residual.empty());  // tail(2) is empty
+}
+
+// ---------------------------------------------------------------------------
+// SpaceSaving.
+
+TEST(SpaceSavingTest, ExactBelowCapacity) {
+  SpaceSaving ss(10);
+  ss.Add(1, 5.0);
+  ss.Add(2, 3.0);
+  ss.Add(1, 2.0);
+  EXPECT_DOUBLE_EQ(ss.EstimateOf(1), 7.0);
+  EXPECT_DOUBLE_EQ(ss.EstimateOf(2), 3.0);
+  const auto entries = ss.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 1u);
+}
+
+TEST(SpaceSavingTest, OverestimatesNeverUnder) {
+  SpaceSaving ss(4);
+  std::vector<double> truth(50, 0.0);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t id = rng.NextBounded(50);
+    const double w = 1.0 + static_cast<double>(rng.NextBounded(4));
+    truth[id] += w;
+    ss.Add(id, w);
+  }
+  for (const auto& e : ss.Entries()) {
+    EXPECT_GE(e.count + 1e-9, truth[e.id]);
+    EXPECT_LE(e.count - e.error - 1e-9, truth[e.id]);
+  }
+}
+
+TEST(SpaceSavingTest, ErrorBoundedByWOverCapacity) {
+  SpaceSaving ss(8);
+  Rng rng(6);
+  for (int i = 0; i < 3000; ++i) ss.Add(rng.NextBounded(100), 1.0);
+  for (const auto& e : ss.Entries()) {
+    EXPECT_LE(e.error, ss.total_weight() / 8.0 + 1e-9);
+  }
+}
+
+TEST(SpaceSavingTest, FindsDominantItem) {
+  SpaceSaving ss(4);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    ss.Add(rng.NextBounded(1000), 1.0);
+    if (i % 2 == 0) ss.Add(7777, 3.0);
+  }
+  EXPECT_EQ(ss.Entries()[0].id, 7777u);
+}
+
+// ---------------------------------------------------------------------------
+// Residual heavy hitter tracker (Theorem 4).
+
+TEST(ResidualHhTest, RequiredSampleSizeFormula) {
+  const int s = ResidualHeavyHitterTracker::RequiredSampleSize(0.1, 0.1);
+  EXPECT_GE(s, static_cast<int>(6.0 * std::log(100.0) / 0.1));
+  EXPECT_LE(s, static_cast<int>(6.0 * std::log(100.0) / 0.1) + 1);
+}
+
+// A stream where 3 mega-heavy items mask 8 residual heavy hitters.
+Workload MaskedResidualStream(int sites, uint64_t seed) {
+  std::vector<uint64_t> mega;
+  std::vector<uint64_t> residual;
+  for (uint64_t i = 0; i < 3; ++i) mega.push_back(100 + 917 * i);
+  for (uint64_t i = 0; i < 8; ++i) residual.push_back(900 + 1013 * i);
+  auto base = std::make_unique<ConstantWeights>(1.0);
+  auto with_residual = std::make_unique<PlantedHeavyWeights>(
+      std::move(base), residual, 2000.0);  // ~17% of the ~12k residual each
+  auto gen = std::make_unique<PlantedHeavyWeights>(std::move(with_residual),
+                                                   mega, 2000000.0);
+  return WorkloadBuilder()
+      .num_sites(sites)
+      .num_items(10000)
+      .seed(seed)
+      .weights(std::move(gen))
+      .partitioner(std::make_unique<RandomPartitioner>())
+      .Build();
+}
+
+TEST(ResidualHhTest, PerfectRecallOnPlantedStream) {
+  const Workload w = MaskedResidualStream(8, 51);
+  const auto exact = ExactResidualHeavyHitters(w.PrefixWeights(), 0.1);
+  ASSERT_GE(exact.size(), 8u);
+  ResidualHhConfig config;
+  config.num_sites = 8;
+  config.eps = 0.1;
+  config.delta = 0.05;
+  config.seed = 52;
+  ResidualHeavyHitterTracker tracker(config);
+  tracker.Run(w);
+  std::unordered_set<uint64_t> reported;
+  for (const Item& item : tracker.HeavyHitters()) reported.insert(item.id);
+  for (uint64_t id : exact) {
+    EXPECT_TRUE(reported.count(id)) << "missed residual HH " << id;
+  }
+}
+
+TEST(ResidualHhTest, ReportSizeIsBounded) {
+  const Workload w = MaskedResidualStream(4, 53);
+  ResidualHhConfig config;
+  config.num_sites = 4;
+  config.eps = 0.1;
+  config.delta = 0.1;
+  config.seed = 54;
+  ResidualHeavyHitterTracker tracker(config);
+  tracker.Run(w);
+  EXPECT_LE(tracker.HeavyHitters().size(),
+            static_cast<size_t>(std::ceil(2.0 / 0.1)));
+}
+
+TEST(ResidualHhTest, MessageCostWithinTheorem4Bound) {
+  const Workload w = MaskedResidualStream(16, 55);
+  ResidualHhConfig config;
+  config.num_sites = 16;
+  config.eps = 0.1;
+  config.delta = 0.1;
+  config.seed = 56;
+  ResidualHeavyHitterTracker tracker(config);
+  tracker.Run(w);
+  const double bound =
+      Theorem4MessageBound(16, 0.1, 0.1, w.TotalWeight());
+  EXPECT_LT(static_cast<double>(tracker.stats().total_messages()),
+            40.0 * bound);
+}
+
+TEST(ResidualHhTest, BeatsSwrBaselineOnMaskedStream) {
+  // Averaged over trials, the SWOR tracker recalls residual HHs that the
+  // SWR tracker misses (its draws collapse onto the mega items).
+  int swor_hits = 0, swr_hits = 0, exact_total = 0;
+  for (int t = 0; t < 5; ++t) {
+    const Workload w = MaskedResidualStream(8, 60 + t);
+    const auto exact = ExactResidualHeavyHitters(w.PrefixWeights(), 0.1);
+    exact_total += static_cast<int>(exact.size());
+
+    ResidualHhConfig config;
+    config.num_sites = 8;
+    config.eps = 0.1;
+    config.delta = 0.1;
+    config.seed = 70 + t;
+    ResidualHeavyHitterTracker swor(config);
+    swor.Run(w);
+    std::unordered_set<uint64_t> swor_ids;
+    for (const Item& item : swor.HeavyHitters()) swor_ids.insert(item.id);
+
+    SwrHeavyHitterTracker swr(8, 0.1, 0.1, 70 + t);
+    swr.Run(w);
+    std::unordered_set<uint64_t> swr_ids;
+    for (const Item& item : swr.HeavyHitters()) swr_ids.insert(item.id);
+
+    for (uint64_t id : exact) {
+      swor_hits += swor_ids.count(id);
+      swr_hits += swr_ids.count(id);
+    }
+  }
+  ASSERT_GT(exact_total, 0);
+  EXPECT_EQ(swor_hits, exact_total) << "Theorem 4 tracker must not miss";
+  EXPECT_LT(swr_hits, exact_total) << "SWR baseline should demonstrably miss";
+}
+
+TEST(SwrHhTest, StillFindsPlainHeavyHitters) {
+  // On a stream without mega-maskers, SWR-based tracking works fine.
+  const Workload w = WorkloadBuilder()
+                         .num_sites(4)
+                         .num_items(5000)
+                         .seed(81)
+                         .weights(std::make_unique<PlantedHeavyWeights>(
+                             std::make_unique<ConstantWeights>(1.0),
+                             std::vector<uint64_t>{123}, 3000.0))
+                         .integer_weights(true)
+                         .partitioner(std::make_unique<RandomPartitioner>())
+                         .Build();
+  SwrHeavyHitterTracker swr(4, 0.2, 0.05, 82);
+  swr.Run(w);
+  bool found = false;
+  for (const Item& item : swr.HeavyHitters()) found |= (item.id == 123);
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace dwrs

@@ -1,0 +1,225 @@
+// Cross-module scenarios: the full monitoring pipeline over one shared
+// workload, agreement between the distributed sampler and the
+// centralized reference, and end-to-end reproducibility.
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "dwrs.h"
+#include "random/exponential_order_stats.h"
+#include "stats/chi_square.h"
+#include "util/math_util.h"
+
+namespace dwrs {
+namespace {
+
+TEST(IntegrationTest, FullPipelineOnSharedWorkload) {
+  const int k = 16;
+  const Workload w = WorkloadBuilder()
+                         .num_sites(k)
+                         .num_items(20000)
+                         .seed(1001)
+                         .weights(std::make_unique<ZipfWeights>(100000, 1.3))
+                         .integer_weights(true)
+                         .partitioner(std::make_unique<RandomPartitioner>())
+                         .Build();
+
+  DistributedWswor sampler(
+      WsworConfig{.num_sites = k, .sample_size = 64, .seed = 2});
+  ResidualHeavyHitterTracker hh(
+      ResidualHhConfig{.num_sites = k, .eps = 0.1, .delta = 0.1, .seed = 3});
+  L1Tracker l1(
+      L1TrackerConfig{.num_sites = k, .eps = 0.2, .delta = 0.2, .seed = 4});
+
+  double true_weight = 0.0;
+  for (uint64_t i = 0; i < w.size(); ++i) {
+    const auto& e = w.event(i);
+    true_weight += e.item.weight;
+    sampler.Observe(e.site, e.item);
+    hh.Observe(e.site, e.item);
+    l1.Observe(e.site, e.item);
+  }
+
+  // Sample is full and valid.
+  EXPECT_EQ(sampler.Sample().size(), 64u);
+  // L1 estimate close to the truth.
+  EXPECT_NEAR(l1.Estimate(), true_weight, 0.5 * true_weight);
+  // The HH report covers all exact residual heavy hitters.
+  const auto exact = ExactResidualHeavyHitters(w.PrefixWeights(), 0.1);
+  std::unordered_set<uint64_t> reported;
+  for (const Item& item : hh.HeavyHitters()) reported.insert(item.id);
+  for (uint64_t id : exact) EXPECT_TRUE(reported.count(id)) << id;
+  // Everything stayed well below "ship every item" messaging.
+  EXPECT_LT(sampler.stats().total_messages(), w.size());
+}
+
+TEST(IntegrationTest, RepeatedQueriesAreConsistent) {
+  DistributedWswor sampler(
+      WsworConfig{.num_sites = 4, .sample_size = 8, .seed = 5});
+  const Workload w = WorkloadBuilder()
+                         .num_sites(4)
+                         .num_items(500)
+                         .seed(6)
+                         .weights(std::make_unique<UniformWeights>(1.0, 99.0))
+                         .Build();
+  sampler.Run(w);
+  const auto a = sampler.Sample();
+  const auto b = sampler.Sample();  // query twice, no state change
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item.id, b[i].item.id);
+    EXPECT_DOUBLE_EQ(a[i].key, b[i].key);
+  }
+}
+
+TEST(IntegrationTest, DistributedMatchesCentralizedReference) {
+  // Same small universe: the distributed sampler and the centralized
+  // Efraimidis-Spirakis sampler must realize the same set law. Compare
+  // their set frequencies to each other via the exact distribution.
+  const std::vector<double> weights = {2.0, 2.0, 8.0, 1.0, 4.0, 1.0, 6.0};
+  const int s = 3;
+  std::vector<WorkloadEvent> events;
+  for (uint64_t i = 0; i < weights.size(); ++i) {
+    events.push_back(
+        WorkloadEvent{static_cast<int>(i % 3), Item{i, weights[i]}});
+  }
+  const Workload w(3, std::move(events));
+
+  const auto exact = ExactSworSetDistribution(weights, s);
+  std::map<uint32_t, size_t> cell_of;
+  std::vector<double> probs;
+  for (const auto& [mask, p] : exact) {
+    cell_of[mask] = probs.size();
+    probs.push_back(p);
+  }
+  std::vector<uint64_t> distributed_counts(probs.size(), 0);
+  std::vector<uint64_t> centralized_counts(probs.size(), 0);
+  const int trials = 12000;
+  for (int t = 0; t < trials; ++t) {
+    DistributedWswor sampler(WsworConfig{
+        .num_sites = 3, .sample_size = s,
+        .seed = 500000 + static_cast<uint64_t>(t)});
+    sampler.Run(w);
+    uint32_t mask = 0;
+    for (const KeyedItem& ki : sampler.Sample()) {
+      mask |= 1u << ki.item.id;
+    }
+    ++distributed_counts[cell_of.at(mask)];
+
+    CentralizedWswor reference(s, 700000 + static_cast<uint64_t>(t));
+    for (uint64_t i = 0; i < weights.size(); ++i) {
+      reference.Add(Item{i, weights[i]});
+    }
+    mask = 0;
+    for (const KeyedItem& ki : reference.Sample()) mask |= 1u << ki.item.id;
+    ++centralized_counts[cell_of.at(mask)];
+  }
+  EXPECT_GT(ChiSquareAgainstProbabilities(distributed_counts, probs, trials)
+                .p_value,
+            1e-4);
+  EXPECT_GT(ChiSquareAgainstProbabilities(centralized_counts, probs, trials)
+                .p_value,
+            1e-4);
+}
+
+TEST(IntegrationTest, AllPartitionersProduceValidSamples) {
+  std::vector<std::unique_ptr<Partitioner>> partitioners;
+  partitioners.push_back(std::make_unique<RoundRobinPartitioner>());
+  partitioners.push_back(std::make_unique<RandomPartitioner>());
+  partitioners.push_back(std::make_unique<SingleSitePartitioner>(1));
+  partitioners.push_back(std::make_unique<BlockPartitioner>(64));
+  for (auto& p : partitioners) {
+    const Workload w = WorkloadBuilder()
+                           .num_sites(4)
+                           .num_items(3000)
+                           .seed(7)
+                           .weights(std::make_unique<ParetoWeights>(1.3))
+                           .partitioner(std::move(p))
+                           .Build();
+    DistributedWswor sampler(
+        WsworConfig{.num_sites = 4, .sample_size = 16, .seed = 8});
+    sampler.Run(w);
+    const auto sample = sampler.Sample();
+    EXPECT_EQ(sample.size(), 16u);
+    std::set<uint64_t> ids;
+    for (const auto& ki : sample) ids.insert(ki.item.id);
+    EXPECT_EQ(ids.size(), 16u);
+  }
+}
+
+TEST(IntegrationTest, HardStreamsFromLowerBounds) {
+  // The Theorem 5 geometric stream and the Theorem 7 epoch stream are the
+  // adversarial instances; the sampler must stay correct (size, no dup)
+  // and within its message bound.
+  {
+    const Workload w = WorkloadBuilder()
+                           .num_sites(8)
+                           .num_items(2000)  // (1+eps)^i overflows beyond
+                           .seed(9)
+                           .weights(std::make_unique<GeometricGrowthWeights>(0.02))
+                           .partitioner(std::make_unique<RandomPartitioner>())
+                           .Build();
+    DistributedWswor sampler(
+        WsworConfig{.num_sites = 8, .sample_size = 8, .seed = 10});
+    sampler.Run(w);
+    EXPECT_EQ(sampler.Sample().size(), 8u);
+  }
+  {
+    const Workload w = WorkloadBuilder()
+                           .num_sites(8)
+                           .num_items(8 * 18)
+                           .seed(11)
+                           .weights(std::make_unique<EpochPowerWeights>(8, 8.0))
+                           .partitioner(std::make_unique<BlockPartitioner>(1))
+                           .Build();
+    DistributedWswor sampler(
+        WsworConfig{.num_sites = 8, .sample_size = 4, .seed = 12});
+    sampler.Run(w);
+    EXPECT_EQ(sampler.Sample().size(), 4u);
+  }
+}
+
+TEST(IntegrationTest, UnweightedSpecialCaseAgreesAcrossStacks) {
+  // All-unit weights: the weighted sampler, the unweighted substrate, and
+  // plain reservoir sampling all sample uniformly; check inclusion of one
+  // fixed item across many trials for all three.
+  const int n = 40;
+  const int s = 4;
+  const Workload w = WorkloadBuilder()
+                         .num_sites(4)
+                         .num_items(n)
+                         .seed(13)
+                         .partitioner(std::make_unique<RandomPartitioner>())
+                         .Build();
+  const int trials = 8000;
+  uint64_t weighted_hits = 0, unweighted_hits = 0, reservoir_hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    DistributedWswor ws(WsworConfig{
+        .num_sites = 4, .sample_size = s,
+        .seed = 800000 + static_cast<uint64_t>(t)});
+    ws.Run(w);
+    for (const auto& ki : ws.Sample()) weighted_hits += (ki.item.id == 17);
+
+    UsworConfig uc;
+    uc.num_sites = 4;
+    uc.sample_size = s;
+    uc.seed = 900000 + static_cast<uint64_t>(t);
+    DistributedUnweightedSwor us(uc);
+    us.Run(w);
+    for (const auto& item : us.Sample()) unweighted_hits += (item.id == 17);
+
+    ReservoirSampler r(s, 950000 + static_cast<uint64_t>(t));
+    for (const auto& e : w.events()) r.Add(e.item);
+    for (const auto& item : r.sample()) reservoir_hits += (item.id == 17);
+  }
+  const double p = static_cast<double>(s) / n;
+  EXPECT_GT(BinomialTwoSidedPValue(weighted_hits, trials, p), 1e-4);
+  EXPECT_GT(BinomialTwoSidedPValue(unweighted_hits, trials, p), 1e-4);
+  EXPECT_GT(BinomialTwoSidedPValue(reservoir_hits, trials, p), 1e-4);
+}
+
+}  // namespace
+}  // namespace dwrs

@@ -1,0 +1,202 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "l1/deterministic_l1.h"
+#include "l1/l1_tracker.h"
+#include "l1/sqrtk_l1.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+namespace {
+
+Workload UniformStream(int sites, uint64_t items, uint64_t seed) {
+  return WorkloadBuilder()
+      .num_sites(sites)
+      .num_items(items)
+      .seed(seed)
+      .weights(std::make_unique<UniformWeights>(1.0, 20.0))
+      .partitioner(std::make_unique<RandomPartitioner>())
+      .Build();
+}
+
+TEST(L1ConfigTest, SampleSizeAndDuplication) {
+  L1TrackerConfig config;
+  config.eps = 0.2;
+  config.delta = 0.1;
+  const int s = config.SampleSize();
+  EXPECT_EQ(s, static_cast<int>(std::ceil(10.0 * std::log(10.0) / 0.04)));
+  EXPECT_EQ(config.Duplication(),
+            static_cast<uint64_t>(std::ceil(s / 0.4)));
+  EXPECT_GE(config.Duplication(), static_cast<uint64_t>(s));
+}
+
+TEST(L1TrackerTest, TracksWithinEpsilonThroughout) {
+  const int k = 8;
+  L1TrackerConfig config;
+  config.num_sites = k;
+  config.eps = 0.2;
+  config.delta = 0.1;
+  config.seed = 3;
+  L1Tracker tracker(config);
+  const Workload w = UniformStream(k, 4000, 4);
+  double true_weight = 0.0;
+  double worst = 0.0;
+  for (uint64_t i = 0; i < w.size(); ++i) {
+    true_weight += w.event(i).item.weight;
+    tracker.Observe(w.event(i).site, w.event(i).item);
+    const double rel =
+        std::fabs(tracker.Estimate() - true_weight) / true_weight;
+    worst = std::max(worst, rel);
+  }
+  // Per-time-step guarantee is eps w.p. 1-delta; the observed worst over
+  // all steps stays within a small multiple for this fixed seed.
+  EXPECT_LT(worst, 2.0 * config.eps);
+}
+
+TEST(L1TrackerTest, FirstItemEstimatedImmediately) {
+  L1TrackerConfig config;
+  config.num_sites = 2;
+  config.eps = 0.2;
+  config.delta = 0.2;
+  config.seed = 5;
+  L1Tracker tracker(config);
+  EXPECT_DOUBLE_EQ(tracker.Estimate(), 0.0);
+  tracker.Observe(0, Item{0, 10.0});
+  // After a single item the duplicated sample is already full and the
+  // estimate concentrates around that item's weight.
+  EXPECT_NEAR(tracker.Estimate(), 10.0, 10.0 * 0.5);
+}
+
+TEST(L1TrackerTest, SkewedStreamStillTracks) {
+  const int k = 4;
+  L1TrackerConfig config;
+  config.num_sites = k;
+  config.eps = 0.25;
+  config.delta = 0.1;
+  config.seed = 7;
+  L1Tracker tracker(config);
+  const Workload w = WorkloadBuilder()
+                         .num_sites(k)
+                         .num_items(2000)
+                         .seed(8)
+                         .weights(std::make_unique<ParetoWeights>(1.2))
+                         .partitioner(std::make_unique<RandomPartitioner>())
+                         .Build();
+  double true_weight = 0.0;
+  double worst = 0.0;
+  for (uint64_t i = 0; i < w.size(); ++i) {
+    true_weight += w.event(i).item.weight;
+    tracker.Observe(w.event(i).site, w.event(i).item);
+    worst = std::max(
+        worst, std::fabs(tracker.Estimate() - true_weight) / true_weight);
+  }
+  EXPECT_LT(worst, 3.0 * config.eps);
+}
+
+TEST(L1TrackerTest, MessagesWithinTheorem6Bound) {
+  const int k = 16;
+  L1TrackerConfig config;
+  config.num_sites = k;
+  config.eps = 0.25;
+  config.delta = 0.2;
+  config.seed = 9;
+  L1Tracker tracker(config);
+  const Workload w = UniformStream(k, 20000, 10);
+  tracker.Run(w);
+  const double bound =
+      Theorem6MessageBound(k, 0.25, 0.2, w.TotalWeight());
+  EXPECT_LT(static_cast<double>(tracker.stats().total_messages()),
+            60.0 * bound);
+}
+
+TEST(DeterministicL1Test, NeverExceedsEpsilon) {
+  const int k = 8;
+  const double eps = 0.1;
+  DeterministicL1Tracker tracker(k, eps);
+  const Workload w = UniformStream(k, 5000, 11);
+  double true_weight = 0.0;
+  for (uint64_t i = 0; i < w.size(); ++i) {
+    true_weight += w.event(i).item.weight;
+    tracker.Observe(w.event(i).site, w.event(i).item);
+    const double rel =
+        std::fabs(tracker.Estimate() - true_weight) / true_weight;
+    EXPECT_LE(rel, eps + 1e-9) << "at step " << i + 1;
+  }
+}
+
+TEST(DeterministicL1Test, MessageCountScalesWithKOverEps) {
+  const Workload w = UniformStream(8, 20000, 12);
+  DeterministicL1Tracker fine(8, 0.05);
+  DeterministicL1Tracker coarse(8, 0.4);
+  fine.Run(w);
+  coarse.Run(w);
+  EXPECT_GT(fine.stats().total_messages(),
+            3 * coarse.stats().total_messages());
+  // ~ k * ln(W_local) / eps messages overall.
+  const double expected =
+      8.0 * std::log(w.TotalWeight() / 8.0) / 0.05;
+  EXPECT_LT(static_cast<double>(fine.stats().total_messages()),
+            3.0 * expected);
+}
+
+TEST(SqrtkL1Test, TracksWithinFewEpsilon) {
+  // Inside the [23] regime k <= 1/eps^2, where the randomized drift
+  // correction is valid.
+  const int k = 4;
+  const double eps = 0.2;
+  SqrtkL1Tracker tracker(k, eps, /*seed=*/13);
+  const Workload w = UniformStream(k, 10000, 14);
+  double true_weight = 0.0;
+  double worst_late = 0.0;
+  for (uint64_t i = 0; i < w.size(); ++i) {
+    true_weight += w.event(i).item.weight;
+    tracker.Observe(w.event(i).site, w.event(i).item);
+    if (i > w.size() / 10) {
+      worst_late = std::max(
+          worst_late,
+          std::fabs(tracker.Estimate() - true_weight) / true_weight);
+    }
+  }
+  EXPECT_LT(worst_late, 4.0 * eps);
+}
+
+TEST(SqrtkL1Test, CheaperThanDeterministicForLargeK) {
+  const int k = 256;
+  const double eps = 0.05;
+  const Workload w = UniformStream(k, 30000, 15);
+  SqrtkL1Tracker randomized(k, eps, /*seed=*/16);
+  DeterministicL1Tracker deterministic(k, eps);
+  randomized.Run(w);
+  deterministic.Run(w);
+  EXPECT_LT(randomized.stats().total_messages(),
+            deterministic.stats().total_messages());
+}
+
+TEST(L1ComparisonTest, OursCheaperThanDeterministicForLargeK) {
+  // The headline claim: for k >= 1/eps^2 the SWOR-based tracker sends
+  // fewer messages than the deterministic baseline.
+  const int k = 2048;
+  const double eps = 0.3;  // 1/eps^2 ~ 11 << k
+  const Workload w = UniformStream(k, 120000, 17);
+  L1TrackerConfig config;
+  config.num_sites = k;
+  config.eps = eps;
+  config.delta = 0.3;
+  config.seed = 18;
+  L1Tracker ours(config);
+  DeterministicL1Tracker det(k, eps);
+  ours.Run(w);
+  det.Run(w);
+  EXPECT_LT(ours.stats().total_messages(), det.stats().total_messages());
+}
+
+TEST(L1TrackerDeathTest, RejectsHugeEps) {
+  L1TrackerConfig config;
+  config.eps = 0.7;
+  EXPECT_DEATH(config.SampleSize(), "DWRS_CHECK");
+}
+
+}  // namespace
+}  // namespace dwrs

@@ -1,0 +1,203 @@
+// Parameterized property sweeps: structural invariants of the weighted
+// SWOR protocol that must hold for every configuration, workload shape,
+// and seed — the paper's correctness conditions as executable properties.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "core/sampler.h"
+#include "stream/workload.h"
+#include "util/math_util.h"
+
+namespace dwrs {
+namespace {
+
+enum class WeightShape { kConstant, kUniform, kZipf, kPareto, kGeometric };
+enum class PartitionShape { kRoundRobin, kRandom, kSingle, kBlocks };
+
+std::unique_ptr<WeightGenerator> MakeWeights(WeightShape shape) {
+  switch (shape) {
+    case WeightShape::kConstant:
+      return std::make_unique<ConstantWeights>(1.0);
+    case WeightShape::kUniform:
+      return std::make_unique<UniformWeights>(1.0, 64.0);
+    case WeightShape::kZipf:
+      return std::make_unique<ZipfWeights>(100000, 1.4);
+    case WeightShape::kPareto:
+      return std::make_unique<ParetoWeights>(1.1);
+    case WeightShape::kGeometric:
+      return std::make_unique<GeometricGrowthWeights>(0.05);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Partitioner> MakePartitioner(PartitionShape shape) {
+  switch (shape) {
+    case PartitionShape::kRoundRobin:
+      return std::make_unique<RoundRobinPartitioner>();
+    case PartitionShape::kRandom:
+      return std::make_unique<RandomPartitioner>();
+    case PartitionShape::kSingle:
+      return std::make_unique<SingleSitePartitioner>(0);
+    case PartitionShape::kBlocks:
+      return std::make_unique<BlockPartitioner>(17);
+  }
+  return nullptr;
+}
+
+using Param = std::tuple<int /*k*/, int /*s*/, WeightShape, PartitionShape,
+                         int /*delay*/, bool /*jitter*/, uint64_t /*seed*/>;
+
+class WsworPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(WsworPropertyTest, ProtocolInvariantsHoldThroughout) {
+  const auto [k, s, weight_shape, partition_shape, delay, jitter, seed] =
+      GetParam();
+  const uint64_t items =
+      weight_shape == WeightShape::kGeometric ? 2000 : 6000;
+  const Workload w = WorkloadBuilder()
+                         .num_sites(k)
+                         .num_items(items)
+                         .seed(seed)
+                         .weights(MakeWeights(weight_shape))
+                         .partitioner(MakePartitioner(partition_shape))
+                         .Build();
+  WsworConfig config;
+  config.num_sites = k;
+  config.sample_size = s;
+  config.seed = seed ^ 0xABCDEF;
+  config.delivery_delay = delay;
+  config.jitter_seed = jitter && delay > 0 ? seed ^ 0x5EED : 0;
+  DistributedWswor sampler(config);
+
+  double prev_threshold = 0.0;
+  uint64_t checked = 0;
+  sampler.Run(w, [&](uint64_t step) {
+    // Checking every step is O(n*s log s); subsample checkpoints.
+    if (step % 97 != 0 && step != w.size() && step > 64) return;
+    ++checked;
+    const auto sample = sampler.Sample();
+    // (1) Continuous size invariant. With a delivery delay the paper's
+    // per-round model is deliberately violated: messages are in flight,
+    // so mid-stream the coordinator may hold fewer items (exact equality
+    // is asserted after the final flush below).
+    const uint64_t want = std::min<uint64_t>(step, static_cast<uint64_t>(s));
+    if (delay == 0) {
+      ASSERT_EQ(sample.size(), want) << "step " << step;
+    } else {
+      ASSERT_LE(sample.size(), want) << "step " << step;
+    }
+    // (2) Keys positive, sorted descending; without replacement.
+    std::set<uint64_t> ids;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      ASSERT_GT(sample[i].key, 0.0);
+      if (i > 0) {
+        ASSERT_GE(sample[i - 1].key, sample[i].key);
+      }
+      ASSERT_LT(sample[i].item.id, step);
+      ids.insert(sample[i].item.id);
+    }
+    ASSERT_EQ(ids.size(), sample.size());
+    // (3) Coordinator threshold is monotone.
+    const double u = sampler.coordinator().Threshold();
+    ASSERT_GE(u, prev_threshold);
+    prev_threshold = u;
+    // (4) O(s) coordinator space (Proposition 6).
+    ASSERT_LE(sampler.coordinator().StoredEntries(),
+              2 * static_cast<size_t>(s));
+  });
+  EXPECT_GT(checked, 0u);
+
+  sampler.FlushNetwork();
+  // (1') After the flush the full min(t, s) sample must be present.
+  EXPECT_EQ(sampler.Sample().size(),
+            std::min<uint64_t>(w.size(), static_cast<uint64_t>(s)));
+  // (5) Message complexity within a generous constant of Theorem 3
+  // (skip for the geometric hard stream where every item is heavy and
+  // early messages legitimately dominate its short length).
+  if (weight_shape != WeightShape::kGeometric) {
+    const double bound = Theorem3MessageBound(k, s, w.TotalWeight());
+    EXPECT_LT(static_cast<double>(sampler.stats().total_messages()),
+              50.0 * bound + 8.0 * static_cast<double>(k) *
+                                  static_cast<double>(s));
+  }
+  // (6) Messages cannot exceed the trivial protocol by more than the
+  // level-set warmup + broadcast overhead.
+  EXPECT_LT(sampler.stats().site_to_coord, 2 * items + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WsworPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(1, 4, 32),                 // k
+        ::testing::Values(1, 8, 64),                 // s
+        ::testing::Values(WeightShape::kConstant, WeightShape::kUniform,
+                          WeightShape::kZipf, WeightShape::kPareto,
+                          WeightShape::kGeometric),  // weights
+        ::testing::Values(PartitionShape::kRoundRobin,
+                          PartitionShape::kRandom,
+                          PartitionShape::kSingle),  // partitioning
+        ::testing::Values(0, 3),                     // delivery delay
+        ::testing::Values(false, true),              // network jitter
+        ::testing::Values(1337u)));                  // seed
+
+// A second, smaller sweep pinning the ablation configuration.
+class AblationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AblationPropertyTest, NoWithholdingStillSamplesCorrectSize) {
+  const int s = GetParam();
+  const Workload w = WorkloadBuilder()
+                         .num_sites(8)
+                         .num_items(3000)
+                         .seed(77)
+                         .weights(std::make_unique<ParetoWeights>(1.2))
+                         .partitioner(std::make_unique<RandomPartitioner>())
+                         .Build();
+  WsworConfig config;
+  config.num_sites = 8;
+  config.sample_size = s;
+  config.seed = 78;
+  config.withhold_heavy = false;
+  DistributedWswor sampler(config);
+  sampler.Run(w);
+  EXPECT_EQ(sampler.Sample().size(), static_cast<size_t>(s));
+  std::set<uint64_t> ids;
+  for (const auto& ki : sampler.Sample()) ids.insert(ki.item.id);
+  EXPECT_EQ(ids.size(), static_cast<size_t>(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, AblationPropertyTest,
+                         ::testing::Values(1, 2, 16, 128));
+
+// Epoch-base override sweep (ablation of r).
+class EpochBasePropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpochBasePropertyTest, AnyBaseAtLeastTwoWorks) {
+  const double r = GetParam();
+  const Workload w = WorkloadBuilder()
+                         .num_sites(8)
+                         .num_items(4000)
+                         .seed(88)
+                         .weights(std::make_unique<UniformWeights>(1.0, 32.0))
+                         .partitioner(std::make_unique<RandomPartitioner>())
+                         .Build();
+  WsworConfig config;
+  config.num_sites = 8;
+  config.sample_size = 8;
+  config.seed = 89;
+  config.epoch_base = r;
+  DistributedWswor sampler(config);
+  sampler.Run(w);
+  EXPECT_EQ(sampler.Sample().size(), 8u);
+  EXPECT_LT(sampler.stats().total_messages(), w.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, EpochBasePropertyTest,
+                         ::testing::Values(2.0, 3.0, 8.0, 64.0));
+
+}  // namespace
+}  // namespace dwrs

@@ -1,0 +1,240 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "random/exponential_order_stats.h"
+#include "sampling/efraimidis_spirakis.h"
+#include "sampling/priority_sampling.h"
+#include "sampling/reservoir.h"
+#include "sampling/top_key_heap.h"
+#include "sampling/weighted_swr.h"
+#include "stats/chi_square.h"
+#include "stats/summary.h"
+#include "test_util.h"
+
+namespace dwrs {
+namespace {
+
+TEST(TopKeyHeapTest, KeepsLargestKeys) {
+  TopKeyHeap<int> heap(3);
+  EXPECT_FALSE(heap.full());
+  EXPECT_DOUBLE_EQ(heap.ThresholdOrZero(), 0.0);
+  heap.Offer(5.0, 50);
+  heap.Offer(1.0, 10);
+  heap.Offer(3.0, 30);
+  EXPECT_TRUE(heap.full());
+  EXPECT_DOUBLE_EQ(heap.MinKey(), 1.0);
+  // 2.0 beats 1.0.
+  TopKeyHeap<int>::Entry evicted{0.0, 0};
+  EXPECT_TRUE(heap.Offer(2.0, 20, &evicted));
+  EXPECT_EQ(evicted.value, 10);
+  EXPECT_DOUBLE_EQ(heap.MinKey(), 2.0);
+  // 1.5 loses.
+  EXPECT_FALSE(heap.Offer(1.5, 15));
+  const auto sorted = heap.SortedDescending();
+  EXPECT_DOUBLE_EQ(sorted[0].key, 5.0);
+  EXPECT_DOUBLE_EQ(sorted[1].key, 3.0);
+  EXPECT_DOUBLE_EQ(sorted[2].key, 2.0);
+}
+
+TEST(TopKeyHeapTest, ExtractIfRemovesMatching) {
+  TopKeyHeap<int> heap(5);
+  for (int i = 1; i <= 5; ++i) heap.Offer(i, i);
+  const auto evens = heap.ExtractIf(
+      [](const TopKeyHeap<int>::Entry& e) { return e.value % 2 == 0; });
+  EXPECT_EQ(evens.size(), 2u);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_DOUBLE_EQ(heap.MinKey(), 1.0);
+  heap.Offer(0.5, 0);
+  EXPECT_EQ(heap.size(), 4u);
+}
+
+TEST(TopKeyHeapTest, ThresholdSemantics) {
+  TopKeyHeap<int> heap(2);
+  heap.Offer(10.0, 1);
+  EXPECT_DOUBLE_EQ(heap.ThresholdOrZero(), 0.0);  // not full yet
+  heap.Offer(20.0, 2);
+  EXPECT_DOUBLE_EQ(heap.ThresholdOrZero(), 10.0);
+}
+
+TEST(ReservoirTest, SampleSizeIsMinTs) {
+  ReservoirSampler r(5, 1);
+  for (uint64_t i = 0; i < 3; ++i) r.Add(Item{i, 1.0});
+  EXPECT_EQ(r.sample().size(), 3u);
+  for (uint64_t i = 3; i < 100; ++i) r.Add(Item{i, 1.0});
+  EXPECT_EQ(r.sample().size(), 5u);
+}
+
+TEST(ReservoirTest, UniformInclusion) {
+  const int n = 9;
+  const int s = 3;
+  const int trials = 30000;
+  std::vector<uint64_t> counts(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler r(s, 1000 + t);
+    for (uint64_t i = 0; i < n; ++i) r.Add(Item{i, 1.0});
+    for (const Item& item : r.sample()) ++counts[item.id];
+  }
+  // Each inclusion is Binomial(trials, s/n); Bonferroni over n items.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GT(BinomialTwoSidedPValue(counts[i], trials,
+                                     static_cast<double>(s) / n),
+              1e-5)
+        << "item " << i << " count " << counts[i];
+  }
+}
+
+TEST(SkipReservoirTest, MatchesAlgorithmRDistribution) {
+  const int n = 50;
+  const int s = 5;
+  const int trials = 20000;
+  std::vector<uint64_t> counts(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    SkipReservoirSampler r(s, 2000 + t);
+    for (uint64_t i = 0; i < n; ++i) r.Add(Item{i, 1.0});
+    for (const Item& item : r.sample()) ++counts[item.id];
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GT(BinomialTwoSidedPValue(counts[i], trials,
+                                     static_cast<double>(s) / n),
+              1e-6)
+        << "item " << i;
+  }
+}
+
+TEST(CentralizedWsworTest, SampleSizeAndOrder) {
+  CentralizedWswor sampler(4, 1);
+  for (uint64_t i = 0; i < 10; ++i) sampler.Add(Item{i, 1.0 + i});
+  const auto sample = sampler.Sample();
+  ASSERT_EQ(sample.size(), 4u);
+  for (size_t i = 1; i < sample.size(); ++i) {
+    EXPECT_GE(sample[i - 1].key, sample[i].key);
+  }
+  EXPECT_GT(sampler.Threshold(), 0.0);
+}
+
+TEST(CentralizedWsworTest, ExactSetDistribution) {
+  const std::vector<double> weights = {1.0, 2.0, 4.0, 1.0, 3.0, 2.0};
+  const int s = 2;
+  const auto result = testing::SworSetGoodnessOfFit(
+      weights, s, 20000, [&](int t) {
+        CentralizedWswor sampler(s, 5000 + t);
+        for (uint64_t i = 0; i < weights.size(); ++i) {
+          sampler.Add(Item{i, weights[i]});
+        }
+        std::vector<uint64_t> ids;
+        for (const KeyedItem& ki : sampler.Sample()) ids.push_back(ki.item.id);
+        return ids;
+      });
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(CentralizedWsworSkipTest, MatchesExactSetDistribution) {
+  const std::vector<double> weights = {5.0, 1.0, 1.0, 2.0, 7.0};
+  const int s = 2;
+  const auto result = testing::SworSetGoodnessOfFit(
+      weights, s, 20000, [&](int t) {
+        CentralizedWsworSkip sampler(s, 6000 + t);
+        for (uint64_t i = 0; i < weights.size(); ++i) {
+          sampler.Add(Item{i, weights[i]});
+        }
+        std::vector<uint64_t> ids;
+        for (const KeyedItem& ki : sampler.Sample()) ids.push_back(ki.item.id);
+        return ids;
+      });
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(CentralizedWsworSkipTest, AgreesWithHeapVariantOnLongStream) {
+  // Same distribution on a longer stream: compare inclusion counts of a
+  // specific heavy item between the two implementations.
+  const int s = 8;
+  const int trials = 4000;
+  int heap_count = 0, skip_count = 0;
+  for (int t = 0; t < trials; ++t) {
+    CentralizedWswor a(s, 100 + t);
+    CentralizedWsworSkip b2(s, 900000 + t);
+    for (uint64_t i = 0; i < 300; ++i) {
+      const double w = (i == 150) ? 200.0 : 1.0;
+      a.Add(Item{i, w});
+      b2.Add(Item{i, w});
+    }
+    for (const auto& ki : a.Sample()) heap_count += (ki.item.id == 150);
+    for (const auto& ki : b2.Sample()) skip_count += (ki.item.id == 150);
+  }
+  // Both should include the heavy item nearly always; agree within noise.
+  EXPECT_GT(heap_count, trials * 9 / 10);
+  EXPECT_GT(skip_count, trials * 9 / 10);
+  EXPECT_NEAR(static_cast<double>(heap_count), static_cast<double>(skip_count),
+              5.0 * std::sqrt(static_cast<double>(trials)));
+}
+
+TEST(WeightedSwrTest, PerSlotDrawDistribution) {
+  const std::vector<double> weights = {1.0, 3.0, 6.0, 2.0};
+  const auto result = testing::WeightedDrawGoodnessOfFit(
+      weights, 30000, [&](int t) {
+        CentralizedWeightedSwr swr(1, 7000 + t);
+        for (uint64_t i = 0; i < weights.size(); ++i) {
+          swr.Add(Item{i, weights[i]});
+        }
+        return swr.Sample()[0].id;
+      });
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(WeightedSwrTest, HeavySkewCollapsesDistinct) {
+  // One item with 99% of the weight: SWR sample is almost all that item.
+  CentralizedWeightedSwr swr(64, 3);
+  swr.Add(Item{0, 990000.0});
+  for (uint64_t i = 1; i <= 100; ++i) swr.Add(Item{i, 100.0});
+  EXPECT_LT(swr.DistinctInSample(), 15u);
+}
+
+TEST(WeightedSwrTest, SampleHasOneEntryPerSlot) {
+  CentralizedWeightedSwr swr(7, 4);
+  swr.Add(Item{1, 2.0});
+  EXPECT_EQ(swr.Sample().size(), 7u);
+}
+
+TEST(PrioritySamplingTest, SubsetSumUnbiased) {
+  // Estimate the total weight of even ids; average over trials must
+  // approach the truth (unbiasedness of priority sampling).
+  const int n = 60;
+  std::vector<double> weights(n);
+  double even_total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    weights[i] = 1.0 + (i * 37 % 11);
+    if (i % 2 == 0) even_total += weights[i];
+  }
+  Summary estimates;
+  for (int t = 0; t < 4000; ++t) {
+    PrioritySampler sampler(12, 8000 + t);
+    for (int i = 0; i < n; ++i) {
+      sampler.Add(Item{static_cast<uint64_t>(i), weights[i]});
+    }
+    estimates.Add(sampler.EstimateSubsetSum(
+        [](const Item& item) { return item.id % 2 == 0; }));
+  }
+  EXPECT_NEAR(estimates.mean(), even_total,
+              5.0 * estimates.stddev() / std::sqrt(4000.0));
+}
+
+TEST(PrioritySamplingTest, SampleSizeCapped) {
+  PrioritySampler sampler(5, 9);
+  for (uint64_t i = 0; i < 100; ++i) sampler.Add(Item{i, 1.0 + i});
+  EXPECT_EQ(sampler.Sample().size(), 5u);
+  EXPECT_GT(sampler.Threshold(), 0.0);
+}
+
+TEST(PrioritySamplingTest, ExactBelowCapacity) {
+  PrioritySampler sampler(10, 9);
+  sampler.Add(Item{0, 5.0});
+  sampler.Add(Item{1, 7.0});
+  // tau = 0: estimator returns exact sums.
+  EXPECT_DOUBLE_EQ(sampler.EstimateSubsetSum([](const Item&) { return true; }),
+                   12.0);
+}
+
+}  // namespace
+}  // namespace dwrs

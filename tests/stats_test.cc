@@ -1,0 +1,196 @@
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "random/rng.h"
+#include "stats/chi_square.h"
+#include "stats/histogram.h"
+#include "stats/ks_test.h"
+#include "stats/special_functions.h"
+#include "stats/summary.h"
+
+namespace dwrs {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(3.0), std::log(2.0), 1e-10);
+  EXPECT_NEAR(LogGamma(6.0), std::log(120.0), 1e-9);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  EXPECT_NEAR(LogGamma(10.5), 13.940625219403763, 1e-8);
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), -std::expm1(-x), 1e-10);
+    EXPECT_NEAR(RegularizedGammaQ(1.0, x), std::exp(-x), 1e-10);
+  }
+}
+
+TEST(RegularizedGammaTest, Complementarity) {
+  for (double a : {0.5, 2.0, 7.5}) {
+    for (double x : {0.2, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10);
+    }
+  }
+}
+
+TEST(ChiSquareSurvivalTest, TwoDegrees) {
+  // Chi-square with df=2 is Exp(1/2): survival = e^{-x/2}.
+  for (double x : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(ChiSquareSurvival(x, 2.0), std::exp(-x / 2.0), 1e-10);
+  }
+}
+
+TEST(ChiSquareSurvivalTest, KnownQuantiles) {
+  // 95th percentile of chi-square(1) is 3.841; (5) is 11.07.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1.0), 0.05, 0.002);
+  EXPECT_NEAR(ChiSquareSurvival(11.07, 5.0), 0.05, 0.002);
+}
+
+TEST(KolmogorovTest, Extremes) {
+  EXPECT_NEAR(KolmogorovSurvival(0.1), 1.0, 1e-6);
+  EXPECT_LT(KolmogorovSurvival(2.5), 1e-4);
+  // K(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(KolmogorovSurvival(1.36), 0.049, 0.003);
+}
+
+TEST(NormalCdfTest, Values) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(SummaryTest, MeanVarianceMinMax) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, MergeEqualsCombined) {
+  Rng rng(1);
+  Summary all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10.0;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryTest, MergeWithEmpty) {
+  Summary a, b;
+  a.Add(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(QuantileSketchTest, Quantiles) {
+  QuantileSketch q;
+  for (int i = 100; i >= 1; --i) q.Add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 100.0);
+  EXPECT_NEAR(q.Quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(q.Quantile(0.25), 25.75, 1e-9);
+}
+
+TEST(HistogramTest, LinearBinning) {
+  Histogram h = Histogram::Linear(0.0, 10.0, 5);
+  h.Add(0.5);
+  h.Add(3.0);
+  h.Add(9.9);
+  h.Add(-1.0);   // clamped to first
+  h.Add(100.0);  // clamped to last
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(4), 10.0);
+}
+
+TEST(HistogramTest, LogBinning) {
+  Histogram h = Histogram::Logarithmic(1.0, 1024.0, 10);
+  h.Add(1.5);
+  h.Add(512.0);
+  EXPECT_EQ(h.BinFor(1.5), 0);
+  EXPECT_EQ(h.BinFor(512.0), 9);
+  EXPECT_NEAR(h.bin_lower(5), 32.0, 1e-9);
+}
+
+TEST(HistogramTest, RendersBars) {
+  Histogram h = Histogram::Linear(0.0, 1.0, 2);
+  h.Add(0.1);
+  h.Add(0.9);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(ChiSquareGofTest, AcceptsFairDie) {
+  Rng rng(5);
+  std::vector<uint64_t> counts(6, 0);
+  const uint64_t trials = 60000;
+  for (uint64_t i = 0; i < trials; ++i) ++counts[rng.NextBounded(6)];
+  std::vector<double> probs(6, 1.0 / 6.0);
+  EXPECT_GT(ChiSquareAgainstProbabilities(counts, probs, trials).p_value,
+            1e-3);
+}
+
+TEST(ChiSquareGofTest, RejectsBiasedDie) {
+  // Simulated counts from a die that favors face 0.
+  const std::vector<uint64_t> counts = {14000, 9200, 9200, 9200, 9200, 9200};
+  std::vector<double> probs(6, 1.0 / 6.0);
+  EXPECT_LT(ChiSquareAgainstProbabilities(counts, probs, 60000).p_value,
+            1e-6);
+}
+
+TEST(ChiSquareGofTest, PoolsSparseCells) {
+  // Expected counts of 0.5 per cell must be pooled, not divided by.
+  std::vector<uint64_t> observed(100, 0);
+  std::vector<double> expected(100, 0.5);
+  observed[0] = 50;
+  const auto result = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_GE(result.degrees_of_freedom, 1.0);
+  EXPECT_TRUE(std::isfinite(result.statistic));
+}
+
+TEST(KsTestTest, AcceptsUniform) {
+  Rng rng(6);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.NextDouble());
+  EXPECT_GT(KsTest(samples, UniformCdf).p_value, 1e-3);
+}
+
+TEST(KsTestTest, RejectsWrongDistribution) {
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(std::sqrt(rng.NextDouble()));  // Beta(2,1), not uniform
+  }
+  EXPECT_LT(KsTest(samples, UniformCdf).p_value, 1e-6);
+}
+
+TEST(BinomialPValueTest, Calibration) {
+  EXPECT_GT(BinomialTwoSidedPValue(500, 1000, 0.5), 0.9);
+  EXPECT_LT(BinomialTwoSidedPValue(600, 1000, 0.5), 1e-6);
+  EXPECT_GT(BinomialTwoSidedPValue(0, 10, 0.0), 0.99);
+}
+
+}  // namespace
+}  // namespace dwrs

@@ -1,0 +1,229 @@
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "stream/generators.h"
+#include "stream/partitioners.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+namespace {
+
+TEST(GeneratorsTest, ConstantWeights) {
+  ConstantWeights gen(3.0);
+  Rng rng(1);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(gen.WeightAt(i, rng), 3.0);
+}
+
+TEST(GeneratorsTest, UniformWeightsInRange) {
+  UniformWeights gen(2.0, 9.0);
+  Rng rng(2);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const double w = gen.WeightAt(i, rng);
+    EXPECT_GE(w, 2.0);
+    EXPECT_LE(w, 9.0);
+  }
+}
+
+TEST(GeneratorsTest, ZipfWeightsAtLeastOne) {
+  ZipfWeights gen(100000, 1.1);
+  Rng rng(3);
+  double max_w = 0.0;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    const double w = gen.WeightAt(i, rng);
+    EXPECT_GE(w, 1.0);
+    max_w = std::max(max_w, w);
+  }
+  // Rank 1 should appear: weight = n^alpha.
+  EXPECT_GT(max_w, 1000.0);
+}
+
+TEST(GeneratorsTest, ParetoHeavyTail) {
+  ParetoWeights gen(1.5);
+  Rng rng(4);
+  double max_w = 0.0;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    const double w = gen.WeightAt(i, rng);
+    EXPECT_GE(w, 1.0);
+    max_w = std::max(max_w, w);
+  }
+  EXPECT_GT(max_w, 100.0);  // heavy tail produces outliers
+}
+
+TEST(GeneratorsTest, PlantedHeavyPositions) {
+  auto base = std::make_unique<ConstantWeights>(1.0);
+  PlantedHeavyWeights gen(std::move(base), {3, 7}, 1000.0);
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(gen.WeightAt(0, rng), 1.0);
+  EXPECT_DOUBLE_EQ(gen.WeightAt(3, rng), 1000.0);
+  EXPECT_DOUBLE_EQ(gen.WeightAt(5, rng), 1.0);
+  EXPECT_DOUBLE_EQ(gen.WeightAt(7, rng), 1000.0);
+}
+
+TEST(GeneratorsTest, GeometricGrowthFormula) {
+  GeometricGrowthWeights gen(0.5);
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(gen.WeightAt(0, rng), 1.0);
+  EXPECT_DOUBLE_EQ(gen.WeightAt(4, rng),
+                   std::max(1.0, 0.5 * std::pow(1.5, 4)));
+  // Every item is a constant-fraction heavy hitter of its prefix.
+  double total = gen.WeightAt(0, rng);
+  for (uint64_t i = 1; i < 40; ++i) {
+    const double w = gen.WeightAt(i, rng);
+    if (w > 1.0) {
+      EXPECT_GT(w, 0.3 * total) << "at i=" << i;
+    }
+    total += w;
+  }
+}
+
+TEST(GeneratorsTest, EpochPowers) {
+  EpochPowerWeights gen(4, 3.0);
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(gen.WeightAt(0, rng), 1.0);
+  EXPECT_DOUBLE_EQ(gen.WeightAt(3, rng), 1.0);
+  EXPECT_DOUBLE_EQ(gen.WeightAt(4, rng), 3.0);
+  EXPECT_DOUBLE_EQ(gen.WeightAt(11, rng), 9.0);
+}
+
+TEST(GeneratorsTest, DoublingHeavyDoublesPrefix) {
+  DoublingHeavyWeights gen(9);
+  Rng rng(8);
+  double total = 0.0;
+  for (uint64_t i = 0; i < 100; ++i) {
+    const double w = gen.WeightAt(i, rng);
+    if (i % 10 == 0 && i > 0) {
+      EXPECT_DOUBLE_EQ(w, total) << "heavy at i=" << i;
+    }
+    total += w;
+  }
+}
+
+TEST(GeneratorsDeathTest, DoublingHeavyEnforcesSequentialUse) {
+  DoublingHeavyWeights gen(5);
+  Rng rng(9);
+  gen.WeightAt(0, rng);
+  EXPECT_DEATH(gen.WeightAt(5, rng), "sequential");
+}
+
+TEST(GeneratorsTest, Materialize) {
+  ConstantWeights gen(2.0);
+  Rng rng(10);
+  const auto w = MaterializeWeights(gen, 17, rng);
+  EXPECT_EQ(w.size(), 17u);
+}
+
+TEST(PartitionersTest, RoundRobin) {
+  RoundRobinPartitioner p;
+  Rng rng(11);
+  EXPECT_EQ(p.SiteFor(0, 4, rng), 0);
+  EXPECT_EQ(p.SiteFor(5, 4, rng), 1);
+  EXPECT_EQ(p.SiteFor(7, 4, rng), 3);
+}
+
+TEST(PartitionersTest, RandomCoversAllSites) {
+  RandomPartitioner p;
+  Rng rng(12);
+  std::set<int> seen;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const int site = p.SiteFor(i, 8, rng);
+    EXPECT_GE(site, 0);
+    EXPECT_LT(site, 8);
+    seen.insert(site);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(PartitionersTest, SingleSite) {
+  SingleSitePartitioner p(2);
+  Rng rng(13);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(p.SiteFor(i, 4, rng), 2);
+}
+
+TEST(PartitionersTest, Blocks) {
+  BlockPartitioner p(3);
+  Rng rng(14);
+  EXPECT_EQ(p.SiteFor(0, 2, rng), 0);
+  EXPECT_EQ(p.SiteFor(2, 2, rng), 0);
+  EXPECT_EQ(p.SiteFor(3, 2, rng), 1);
+  EXPECT_EQ(p.SiteFor(6, 2, rng), 0);
+}
+
+TEST(WorkloadTest, BuilderDeterministicFromSeed) {
+  auto build = [] {
+    return WorkloadBuilder()
+        .num_sites(4)
+        .num_items(500)
+        .seed(77)
+        .weights(std::make_unique<UniformWeights>(1.0, 10.0))
+        .partitioner(std::make_unique<RandomPartitioner>())
+        .Build();
+  };
+  const Workload a = build();
+  const Workload b = build();
+  ASSERT_EQ(a.size(), b.size());
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.event(i).site, b.event(i).site);
+    EXPECT_EQ(a.event(i).item.id, b.event(i).item.id);
+    EXPECT_DOUBLE_EQ(a.event(i).item.weight, b.event(i).item.weight);
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  auto build = [](uint64_t seed) {
+    return WorkloadBuilder()
+        .num_sites(4)
+        .num_items(100)
+        .seed(seed)
+        .weights(std::make_unique<UniformWeights>(1.0, 10.0))
+        .Build();
+  };
+  const Workload a = build(1);
+  const Workload b = build(2);
+  int equal = 0;
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    equal += (a.event(i).item.weight == b.event(i).item.weight);
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(WorkloadTest, IntegerWeightsRounded) {
+  const Workload w = WorkloadBuilder()
+                         .num_sites(2)
+                         .num_items(200)
+                         .weights(std::make_unique<UniformWeights>(1.0, 5.0))
+                         .integer_weights(true)
+                         .Build();
+  for (const auto& e : w.events()) {
+    EXPECT_DOUBLE_EQ(e.item.weight, std::round(e.item.weight));
+    EXPECT_GE(e.item.weight, 1.0);
+  }
+}
+
+TEST(WorkloadTest, TotalAndPrefixWeights) {
+  const Workload w = WorkloadBuilder()
+                         .num_sites(2)
+                         .num_items(10)
+                         .weights(std::make_unique<ConstantWeights>(2.5))
+                         .Build();
+  EXPECT_DOUBLE_EQ(w.TotalWeight(), 25.0);
+  EXPECT_DOUBLE_EQ(w.TotalWeight(4), 10.0);
+  EXPECT_EQ(w.PrefixWeights(3).size(), 3u);
+  EXPECT_EQ(w.PrefixWeights().size(), 10u);
+}
+
+TEST(WorkloadTest, IdsAreStreamPositions) {
+  const Workload w = WorkloadBuilder().num_sites(3).num_items(50).Build();
+  for (uint64_t i = 0; i < w.size(); ++i) EXPECT_EQ(w.event(i).item.id, i);
+}
+
+TEST(WorkloadTest, DefaultsAreSane) {
+  const Workload w = WorkloadBuilder().Build();
+  EXPECT_EQ(w.num_sites(), 4);
+  EXPECT_EQ(w.size(), 1000u);
+  for (const auto& e : w.events()) EXPECT_DOUBLE_EQ(e.item.weight, 1.0);
+}
+
+}  // namespace
+}  // namespace dwrs

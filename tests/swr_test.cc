@@ -1,0 +1,110 @@
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stats/chi_square.h"
+#include "stream/workload.h"
+#include "swr/distributed_weighted_swr.h"
+#include "test_util.h"
+
+namespace dwrs {
+namespace {
+
+Workload SmallWeighted(const std::vector<double>& weights, int sites,
+                       uint64_t seed) {
+  std::vector<WorkloadEvent> events;
+  Rng rng(seed);
+  for (uint64_t i = 0; i < weights.size(); ++i) {
+    events.push_back(WorkloadEvent{
+        static_cast<int>(rng.NextBounded(static_cast<uint64_t>(sites))),
+        Item{i, weights[i]}});
+  }
+  return Workload(sites, std::move(events));
+}
+
+TEST(DistributedWeightedSwrTest, PerRaceWeightedDraw) {
+  const std::vector<double> weights = {1.0, 2.0, 5.0, 4.0};
+  const Workload w = SmallWeighted(weights, 3, 1);
+  const auto result = testing::WeightedDrawGoodnessOfFit(
+      weights, 25000, [&](int t) {
+        DistributedWeightedSwr swr(3, 1, 50000 + static_cast<uint64_t>(t));
+        swr.Run(w);
+        return swr.Sample()[0].id;
+      });
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(DistributedWeightedSwrTest, MatchesCorollary1MessageShape) {
+  // Messages grow ~log W for fixed k, s.
+  uint64_t prev = 0;
+  for (uint64_t n : {2000u, 8000u, 32000u}) {
+    const Workload w = WorkloadBuilder()
+                           .num_sites(8)
+                           .num_items(n)
+                           .seed(7)
+                           .weights(std::make_unique<UniformWeights>(1.0, 9.0))
+                           .integer_weights(true)
+                           .Build();
+    DistributedWeightedSwr swr(8, 8, 3);
+    swr.Run(w);
+    const uint64_t msgs = swr.stats().total_messages();
+    const double bound = Corollary1MessageBound(8, 8, w.TotalWeight());
+    EXPECT_LT(static_cast<double>(msgs), 25.0 * bound) << "n=" << n;
+    if (prev > 0) {
+      EXPECT_LT(msgs, 3 * prev);
+    }
+    prev = msgs;
+  }
+}
+
+TEST(DistributedWeightedSwrTest, HeavyItemDominatesSample) {
+  // One item with ~99% of the weight appears in almost every race —
+  // the motivating failure of SWR for heavy-hitter streams (Section 1).
+  const int s = 50;
+  DistributedWeightedSwr swr(4, s, 5);
+  Workload w = SmallWeighted({9900.0, 25.0, 25.0, 25.0, 25.0}, 4, 2);
+  swr.Run(w);
+  int heavy = 0;
+  for (const Item& item : swr.Sample()) heavy += (item.id == 0);
+  EXPECT_GT(heavy, s * 8 / 10);
+  EXPECT_LT(swr.DistinctInSample(), 6u);
+}
+
+TEST(DistributedWeightedSwrTest, IntegerWeightOne) {
+  // Weight-1 items reduce exactly to the unweighted sampler.
+  const std::vector<double> weights(6, 1.0);
+  const Workload w = SmallWeighted(weights, 2, 3);
+  std::vector<uint64_t> counts(6, 0);
+  const int trials = 15000;
+  for (int t = 0; t < trials; ++t) {
+    DistributedWeightedSwr swr(2, 1, 70000 + static_cast<uint64_t>(t));
+    swr.Run(w);
+    ++counts[swr.Sample()[0].id];
+  }
+  std::vector<double> probs(6, 1.0 / 6.0);
+  EXPECT_GT(ChiSquareAgainstProbabilities(counts, probs, trials).p_value,
+            1e-4);
+}
+
+TEST(DistributedWeightedSwrTest, DeliveryDelayStillCorrectSize) {
+  DistributedWeightedSwr swr(4, 12, 9, /*delivery_delay=*/5);
+  const Workload w = WorkloadBuilder()
+                         .num_sites(4)
+                         .num_items(400)
+                         .seed(10)
+                         .weights(std::make_unique<UniformWeights>(1.0, 4.0))
+                         .integer_weights(true)
+                         .Build();
+  swr.Run(w);
+  EXPECT_EQ(swr.Sample().size(), 12u);
+}
+
+TEST(Corollary1BoundTest, GrowsWithParameters) {
+  EXPECT_LT(Corollary1MessageBound(8, 8, 1e4),
+            Corollary1MessageBound(8, 8, 1e8));
+  EXPECT_LT(Corollary1MessageBound(8, 8, 1e6),
+            Corollary1MessageBound(8, 64, 1e6));
+}
+
+}  // namespace
+}  // namespace dwrs

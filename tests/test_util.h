@@ -1,0 +1,64 @@
+// Shared helpers for statistical verification of samplers.
+
+#ifndef DWRS_TESTS_TEST_UTIL_H_
+#define DWRS_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "random/exponential_order_stats.h"
+#include "stats/chi_square.h"
+#include "util/check.h"
+
+namespace dwrs::testing {
+
+// Runs `draw_sample(trial)` `trials` times; each call must return the
+// sampled item ids (indices < weights.size()) of a weighted SWOR of size
+// `s` over `weights`. Returns the multinomial goodness-of-fit p-value of
+// the realized sample SETS against the exact SWOR set distribution.
+inline ChiSquareResult SworSetGoodnessOfFit(
+    const std::vector<double>& weights, int s, int trials,
+    const std::function<std::vector<uint64_t>(int)>& draw_sample) {
+  const auto exact = ExactSworSetDistribution(weights, s);
+  std::map<uint32_t, size_t> cell_of;
+  std::vector<double> probs;
+  for (const auto& [mask, p] : exact) {
+    cell_of[mask] = probs.size();
+    probs.push_back(p);
+  }
+  std::vector<uint64_t> counts(probs.size(), 0);
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<uint64_t> ids = draw_sample(t);
+    DWRS_CHECK_EQ(ids.size(), static_cast<size_t>(s));
+    uint32_t mask = 0;
+    for (uint64_t id : ids) {
+      DWRS_CHECK_LT(id, weights.size());
+      mask |= 1u << id;
+    }
+    DWRS_CHECK_EQ(__builtin_popcount(mask), s) << " duplicate ids in sample";
+    ++counts[cell_of.at(mask)];
+  }
+  return ChiSquareAgainstProbabilities(counts, probs,
+                                       static_cast<uint64_t>(trials));
+}
+
+// Chi-square of single-draw outcomes against probabilities w_i / W.
+inline ChiSquareResult WeightedDrawGoodnessOfFit(
+    const std::vector<double>& weights, int trials,
+    const std::function<uint64_t(int)>& draw_one) {
+  const auto probs = WeightedDrawProbabilities(weights);
+  std::vector<uint64_t> counts(weights.size(), 0);
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t id = draw_one(t);
+    DWRS_CHECK_LT(id, weights.size());
+    ++counts[id];
+  }
+  return ChiSquareAgainstProbabilities(counts, probs,
+                                       static_cast<uint64_t>(trials));
+}
+
+}  // namespace dwrs::testing
+
+#endif  // DWRS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,116 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dwrs {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  DWRS_CHECK(true);
+  DWRS_CHECK_EQ(1, 1);
+  DWRS_CHECK_GE(2.0, 1.0);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(DWRS_CHECK(false) << "boom", "DWRS_CHECK failed");
+}
+
+TEST(CheckDeathTest, FailingComparisonAborts) {
+  EXPECT_DEATH(DWRS_CHECK_LT(3, 2), "DWRS_CHECK failed");
+}
+
+TEST(FloorLogBaseTest, PowersOfTwo) {
+  EXPECT_EQ(FloorLogBase(1.0, 2.0), 0);
+  EXPECT_EQ(FloorLogBase(1.9, 2.0), 0);
+  EXPECT_EQ(FloorLogBase(2.0, 2.0), 1);
+  EXPECT_EQ(FloorLogBase(3.999, 2.0), 1);
+  EXPECT_EQ(FloorLogBase(4.0, 2.0), 2);
+  EXPECT_EQ(FloorLogBase(1024.0, 2.0), 10);
+}
+
+TEST(FloorLogBaseTest, SubUnitWeightsClampToLevelZero) {
+  EXPECT_EQ(FloorLogBase(0.5, 2.0), 0);
+  EXPECT_EQ(FloorLogBase(1e-9, 2.0), 0);
+}
+
+TEST(FloorLogBaseTest, NonIntegerBase) {
+  const double r = 2.5;
+  for (int j = 0; j < 20; ++j) {
+    const double x = PowInt(r, j);
+    EXPECT_EQ(FloorLogBase(x, r), j) << "at j=" << j;
+    EXPECT_EQ(FloorLogBase(x * 1.0001, r), j);
+    if (j > 0) {
+      EXPECT_EQ(FloorLogBase(x * 0.9999, r), j - 1);
+    }
+  }
+}
+
+TEST(FloorLogBaseTest, BoundaryConsistentWithPowInt) {
+  // The definition requires base^j <= x < base^(j+1).
+  for (double base : {2.0, 3.0, 2.5, 7.5}) {
+    for (double x : {1.0, 1.5, 2.0, 10.0, 1e6, 3.14159e12}) {
+      const int j = FloorLogBase(x, base);
+      EXPECT_LE(PowInt(base, j), x);
+      EXPECT_GT(PowInt(base, j + 1), x);
+    }
+  }
+}
+
+TEST(PowIntTest, MatchesStdPow) {
+  for (double base : {2.0, 2.5, 3.0, 10.0}) {
+    for (int j : {0, 1, 2, 7, 20}) {
+      EXPECT_NEAR(PowInt(base, j), std::pow(base, j),
+                  1e-9 * std::pow(base, j));
+    }
+  }
+}
+
+TEST(FloorLog2U64Test, Values) {
+  EXPECT_EQ(FloorLog2U64(0), 0);
+  EXPECT_EQ(FloorLog2U64(1), 0);
+  EXPECT_EQ(FloorLog2U64(2), 1);
+  EXPECT_EQ(FloorLog2U64(3), 1);
+  EXPECT_EQ(FloorLog2U64(1ull << 40), 40);
+  EXPECT_EQ(FloorLog2U64(UINT64_MAX), 63);
+}
+
+TEST(ClampTest, Basics) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 10.0), 0.0);
+  EXPECT_EQ(Clamp(15.0, 0.0, 10.0), 10.0);
+}
+
+TEST(AlmostEqualTest, RelativeTolerance) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12, 1e-9));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.1, 1e-9));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 + 1.0, 1e-9));
+}
+
+TEST(EpochBaseTest, PaperFormula) {
+  EXPECT_DOUBLE_EQ(EpochBase(4, 16), 2.0);    // k/s < 2 -> 2
+  EXPECT_DOUBLE_EQ(EpochBase(64, 16), 4.0);   // k/s = 4
+  EXPECT_DOUBLE_EQ(EpochBase(100, 10), 10.0); // k/s = 10
+}
+
+TEST(MessageBoundTest, Theorem3Monotonicity) {
+  // Bound grows with W and with k.
+  EXPECT_LT(Theorem3MessageBound(16, 8, 1e4),
+            Theorem3MessageBound(16, 8, 1e8));
+  EXPECT_LT(Theorem3MessageBound(16, 8, 1e6),
+            Theorem3MessageBound(256, 8, 1e6));
+  EXPECT_GT(Theorem3MessageBound(16, 8, 1e6), 0.0);
+}
+
+TEST(MessageBoundTest, NaiveDominatesTheorem3) {
+  for (int k : {8, 64, 512}) {
+    for (double w : {1e4, 1e6, 1e9}) {
+      EXPECT_GT(NaiveMessageBound(k, 16, w), Theorem3MessageBound(k, 16, w));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwrs

@@ -1,0 +1,288 @@
+#include <algorithm>
+#include <tuple>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "stats/chi_square.h"
+#include "stream/workload.h"
+#include "test_util.h"
+#include "window/distributed_window.h"
+#include "window/skyline.h"
+#include "window/sliding_window_swor.h"
+
+namespace dwrs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// KeySkyline unit tests.
+
+TEST(KeySkylineTest, DiscardsOnceBeatenSTimes) {
+  KeySkyline sky(2, 100);
+  sky.Add(1, Item{1, 1.0}, 5.0);
+  sky.Add(2, Item{2, 1.0}, 7.0);  // beats item 1 once
+  EXPECT_EQ(sky.size(), 2u);
+  sky.Add(3, Item{3, 1.0}, 6.0);  // beats item 1 twice -> discard
+  EXPECT_EQ(sky.size(), 2u);
+  std::set<uint64_t> ids;
+  for (const auto& e : sky.entries()) ids.insert(e.item.id);
+  EXPECT_FALSE(ids.contains(1));
+}
+
+TEST(KeySkylineTest, SmallerKeysDoNotBeat) {
+  KeySkyline sky(1, 100);
+  sky.Add(1, Item{1, 1.0}, 9.0);
+  sky.Add(2, Item{2, 1.0}, 1.0);  // smaller key: item 1 stays, item 2 beaten 0
+  EXPECT_EQ(sky.size(), 2u);
+  sky.Add(3, Item{3, 1.0}, 2.0);  // beats item 2 (s=1) -> discard item 2
+  std::set<uint64_t> ids;
+  for (const auto& e : sky.entries()) ids.insert(e.item.id);
+  EXPECT_TRUE(ids.contains(1));
+  EXPECT_FALSE(ids.contains(2));
+  EXPECT_TRUE(ids.contains(3));
+}
+
+TEST(KeySkylineTest, ExpiryRemovesOldEntries) {
+  KeySkyline sky(2, 10);
+  sky.Add(1, Item{1, 1.0}, 5.0);
+  sky.Add(5, Item{5, 1.0}, 4.0);
+  sky.ExpireUpTo(11);  // window (1, 11]: step 1 is out
+  EXPECT_EQ(sky.size(), 1u);
+  EXPECT_EQ(sky.entries()[0].item.id, 5u);
+}
+
+TEST(KeySkylineTest, SampleRespectsWindow) {
+  KeySkyline sky(3, 4);
+  for (uint64_t t = 1; t <= 8; ++t) {
+    sky.Add(t, Item{t, 1.0}, static_cast<double>(100 - t));  // older = bigger
+  }
+  // At now=8, window covers steps 5..8; the biggest in-window key is 95.
+  const auto sample = sky.Sample(8);
+  ASSERT_EQ(sample.size(), 3u);
+  for (const auto& ki : sample) {
+    EXPECT_GE(ki.item.id, 5u);
+  }
+  EXPECT_DOUBLE_EQ(sample[0].key, 95.0);
+}
+
+TEST(KeySkylineTest, OutOfOrderInsertCountsBeatersBothWays) {
+  KeySkyline sky(1, 100);
+  sky.Add(5, Item{5, 1.0}, 10.0);
+  // An older item with a smaller key is dead on arrival (s=1).
+  sky.Add(2, Item{2, 1.0}, 3.0);
+  EXPECT_EQ(sky.size(), 1u);
+  // An older item with a larger key survives and beats nobody newer.
+  sky.Add(3, Item{3, 1.0}, 20.0);
+  EXPECT_EQ(sky.size(), 2u);
+  EXPECT_EQ(sky.entries()[0].item.id, 3u);  // sorted by step
+  EXPECT_EQ(sky.entries()[1].item.id, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Centralized sliding-window sampler.
+
+TEST(SlidingWindowWsworTest, SampleSizeTracksWindowFill) {
+  SlidingWindowWswor sampler(4, 10, 1);
+  for (uint64_t i = 0; i < 3; ++i) sampler.Add(Item{i, 1.0});
+  EXPECT_EQ(sampler.Sample().size(), 3u);
+  for (uint64_t i = 3; i < 50; ++i) sampler.Add(Item{i, 1.0});
+  EXPECT_EQ(sampler.Sample().size(), 4u);
+}
+
+TEST(SlidingWindowWsworTest, NeverSamplesExpiredItems) {
+  SlidingWindowWswor sampler(4, 8, 2);
+  for (uint64_t i = 0; i < 100; ++i) {
+    sampler.Add(Item{i, 1.0 + static_cast<double>(i % 7)});
+    for (const auto& ki : sampler.Sample()) {
+      EXPECT_GT(ki.item.id + 8, i) << "expired item sampled at step " << i;
+    }
+  }
+}
+
+TEST(SlidingWindowWsworTest, WindowDistributionIsExactSwor) {
+  // Window of 6 over a 10-item stream: the sample at the end must be a
+  // weighted SWOR of items 4..9.
+  const std::vector<double> all = {9.0, 9.0, 9.0, 9.0, 1.0,
+                                   2.0, 4.0, 1.0, 3.0, 2.0};
+  const std::vector<double> window_weights(all.begin() + 4, all.end());
+  const int s = 2;
+  const auto result = testing::SworSetGoodnessOfFit(
+      window_weights, s, 20000, [&](int t) {
+        SlidingWindowWswor sampler(s, 6, 40000 + static_cast<uint64_t>(t));
+        for (uint64_t i = 0; i < all.size(); ++i) {
+          sampler.Add(Item{i, all[i]});
+        }
+        std::vector<uint64_t> ids;
+        for (const auto& ki : sampler.Sample()) ids.push_back(ki.item.id - 4);
+        return ids;
+      });
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(SlidingWindowWsworTest, SkylineStaysSmall) {
+  SlidingWindowWswor sampler(8, 1024, 3);
+  Rng rng(4);
+  size_t max_size = 0;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    sampler.Add(Item{i, 1.0 + rng.NextDouble() * 9.0});
+    max_size = std::max(max_size, sampler.SkylineSize());
+  }
+  // Expected O(s * log(window/s)); allow a generous constant.
+  EXPECT_LT(max_size, 8u * 12u * 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed sliding-window sampler.
+
+TEST(DistributedWindowTest, SampleSizeAndWindowMembership) {
+  WindowConfig config;
+  config.num_sites = 4;
+  config.sample_size = 8;
+  config.window = 64;
+  config.seed = 5;
+  DistributedWindowWswor sampler(config);
+  const Workload w = WorkloadBuilder()
+                         .num_sites(4)
+                         .num_items(2000)
+                         .seed(6)
+                         .weights(std::make_unique<UniformWeights>(1.0, 30.0))
+                         .partitioner(std::make_unique<RandomPartitioner>())
+                         .Build();
+  sampler.Run(w, [&](uint64_t step) {
+    const auto sample = sampler.Sample();
+    const uint64_t expect =
+        std::min<uint64_t>(std::min<uint64_t>(step, 64), 8);
+    ASSERT_EQ(sample.size(), expect) << "step " << step;
+    std::set<uint64_t> ids;
+    for (const auto& ki : sample) {
+      // Items are delivered at step = their index + 1.
+      EXPECT_GT(ki.item.id + 1 + 64, step) << "expired item at " << step;
+      EXPECT_LT(ki.item.id, step);
+      ids.insert(ki.item.id);
+    }
+    ASSERT_EQ(ids.size(), sample.size());
+  });
+}
+
+TEST(DistributedWindowTest, WindowDistributionIsExactSwor) {
+  const std::vector<double> all = {50.0, 50.0, 1.0, 2.0, 4.0,
+                                   1.0,  3.0,  2.0, 6.0, 1.0};
+  // window 8 at the end covers items 2..9.
+  const std::vector<double> window_weights(all.begin() + 2, all.end());
+  std::vector<WorkloadEvent> events;
+  for (uint64_t i = 0; i < all.size(); ++i) {
+    events.push_back(
+        WorkloadEvent{static_cast<int>(i % 3), Item{i, all[i]}});
+  }
+  const Workload w(3, std::move(events));
+  const int s = 2;
+  const auto result = testing::SworSetGoodnessOfFit(
+      window_weights, s, 20000, [&](int t) {
+        WindowConfig config;
+        config.num_sites = 3;
+        config.sample_size = s;
+        config.window = 8;
+        config.seed = 60000 + static_cast<uint64_t>(t);
+        DistributedWindowWswor sampler(config);
+        sampler.Run(w);
+        std::vector<uint64_t> ids;
+        for (const auto& ki : sampler.Sample()) ids.push_back(ki.item.id - 2);
+        return ids;
+      });
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(DistributedWindowTest, PromotionAfterExpiryIsForwarded) {
+  // Site 0 receives a big item then nothing; once the big item expires,
+  // site 0's smaller retained item becomes a candidate and must be
+  // forwarded even though site 0 receives no further items.
+  WindowConfig config;
+  config.num_sites = 2;
+  config.sample_size = 1;
+  config.window = 4;
+  config.seed = 7;
+  DistributedWindowWswor sampler(config);
+  sampler.Observe(0, Item{100, 1000000.0});  // step 1: may dominate
+  sampler.Observe(0, Item{101, 900000.0});   // step 2: possibly shadowed
+  // Steps 3..5 go to site 1 with tiny weights; at step 5 item 100 has
+  // expired (window 4) while 101 is still in the window. If 101 was
+  // locally shadowed by 100, its promotion at step 5 must have been
+  // forwarded by the round tick even though site 0 saw no more items.
+  for (uint64_t i = 0; i < 3; ++i) {
+    sampler.Observe(1, Item{200 + i, 1.0});
+  }
+  const auto sample = sampler.Sample();
+  ASSERT_EQ(sample.size(), 1u);
+  // Item 101 is ~9e5 of the ~9e5+3 window weight: sampled w.p. > 0.999.
+  EXPECT_EQ(sample[0].item.id, 101u);
+}
+
+TEST(DistributedWindowTest, MessagesSublinearOnStableStream) {
+  WindowConfig config;
+  config.num_sites = 8;
+  config.sample_size = 8;
+  config.window = 4096;
+  config.seed = 8;
+  DistributedWindowWswor sampler(config);
+  const Workload w = WorkloadBuilder()
+                         .num_sites(8)
+                         .num_items(40000)
+                         .seed(9)
+                         .weights(std::make_unique<UniformWeights>(1.0, 8.0))
+                         .partitioner(std::make_unique<RandomPartitioner>())
+                         .Build();
+  sampler.Run(w);
+  EXPECT_LT(sampler.stats().total_messages(), w.size() / 3);
+  // Space audit: skylines stay near s log(window).
+  EXPECT_LT(sampler.MaxSiteSkyline(), 8u * 13u * 4u);
+  EXPECT_LT(sampler.CoordinatorSkyline(), 8u * 13u * 4u);
+}
+
+// Parameterized sweep: invariants across (window, s) combinations.
+class WindowPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(WindowPropertyTest, InvariantsAcrossConfigs) {
+  const auto [window, s] = GetParam();
+  WindowConfig config;
+  config.num_sites = 4;
+  config.sample_size = s;
+  config.window = window;
+  config.seed = 11 + window + static_cast<uint64_t>(s);
+  DistributedWindowWswor sampler(config);
+  const Workload w = WorkloadBuilder()
+                         .num_sites(4)
+                         .num_items(3000)
+                         .seed(12)
+                         .weights(std::make_unique<ParetoWeights>(1.2))
+                         .partitioner(std::make_unique<RandomPartitioner>())
+                         .Build();
+  sampler.Run(w, [&](uint64_t step) {
+    if (step % 61 != 0 && step != w.size()) return;
+    const auto sample = sampler.Sample();
+    const uint64_t in_window = std::min<uint64_t>(step, window);
+    ASSERT_EQ(sample.size(),
+              std::min<uint64_t>(in_window, static_cast<uint64_t>(s)))
+        << "step " << step;
+    std::set<uint64_t> ids;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      ASSERT_GT(sample[i].key, 0.0);
+      if (i > 0) {
+        ASSERT_GE(sample[i - 1].key, sample[i].key);
+      }
+      // In-window membership: item idx arrives at step idx+1.
+      ASSERT_GT(sample[i].item.id + 1 + window, step);
+      ids.insert(sample[i].item.id);
+    }
+    ASSERT_EQ(ids.size(), sample.size());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowPropertyTest,
+    ::testing::Combine(::testing::Values(16u, 128u, 1024u),  // window
+                       ::testing::Values(1, 4, 32)));        // s
+
+}  // namespace
+}  // namespace dwrs

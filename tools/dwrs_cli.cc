@@ -1,0 +1,257 @@
+// Command-line driver: runs any of the distributed samplers/trackers on
+// a configurable synthetic workload and prints message statistics (and
+// optionally a CSV row), so experiments beyond the canned benches can be
+// scripted without writing C++.
+//
+// Usage:
+//   dwrs_cli [--algo=wswor|naive|uswor|wswr|residual_hh|l1|det_l1|sqrtk_l1]
+//            [--k=16] [--s=32] [--n=100000] [--seed=1]
+//            [--eps=0.1] [--delta=0.1]
+//            [--dist=uniform:1,16 | zipf:1.2 | pareto:1.3 | const:1 |
+//             geometric:0.1]
+//            [--partition=random | rr | single | block:64]
+//            [--window=4096]  (algo=window)
+//            [--csv]          (print a single machine-readable row)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dwrs.h"
+#include "util/math_util.h"
+
+namespace dwrs {
+namespace {
+
+struct Options {
+  std::string algo = "wswor";
+  int k = 16;
+  int s = 32;
+  uint64_t n = 100000;
+  uint64_t seed = 1;
+  double eps = 0.1;
+  double delta = 0.1;
+  uint64_t window = 4096;
+  std::string dist = "uniform:1,16";
+  std::string partition = "random";
+  bool csv = false;
+};
+
+bool ConsumeFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+Options Parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ConsumeFlag(argv[i], "--algo", &v)) {
+      opt.algo = v;
+    } else if (ConsumeFlag(argv[i], "--k", &v)) {
+      opt.k = std::atoi(v.c_str());
+    } else if (ConsumeFlag(argv[i], "--s", &v)) {
+      opt.s = std::atoi(v.c_str());
+    } else if (ConsumeFlag(argv[i], "--n", &v)) {
+      opt.n = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ConsumeFlag(argv[i], "--seed", &v)) {
+      opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ConsumeFlag(argv[i], "--eps", &v)) {
+      opt.eps = std::atof(v.c_str());
+    } else if (ConsumeFlag(argv[i], "--delta", &v)) {
+      opt.delta = std::atof(v.c_str());
+    } else if (ConsumeFlag(argv[i], "--window", &v)) {
+      opt.window = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ConsumeFlag(argv[i], "--dist", &v)) {
+      opt.dist = v;
+    } else if (ConsumeFlag(argv[i], "--partition", &v)) {
+      opt.partition = v;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      opt.csv = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+std::unique_ptr<WeightGenerator> MakeWeights(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string args =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "uniform") {
+    double lo = 1.0, hi = 16.0;
+    std::sscanf(args.c_str(), "%lf,%lf", &lo, &hi);
+    return std::make_unique<UniformWeights>(lo, hi);
+  }
+  if (kind == "zipf") {
+    const double alpha = args.empty() ? 1.2 : std::atof(args.c_str());
+    return std::make_unique<ZipfWeights>(1u << 20, alpha);
+  }
+  if (kind == "pareto") {
+    const double alpha = args.empty() ? 1.3 : std::atof(args.c_str());
+    return std::make_unique<ParetoWeights>(alpha);
+  }
+  if (kind == "const") {
+    const double w = args.empty() ? 1.0 : std::atof(args.c_str());
+    return std::make_unique<ConstantWeights>(w);
+  }
+  if (kind == "geometric") {
+    const double eps = args.empty() ? 0.1 : std::atof(args.c_str());
+    return std::make_unique<GeometricGrowthWeights>(eps);
+  }
+  std::fprintf(stderr, "unknown --dist kind: %s\n", kind.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<Partitioner> MakePartition(const std::string& spec) {
+  if (spec == "random") return std::make_unique<RandomPartitioner>();
+  if (spec == "rr") return std::make_unique<RoundRobinPartitioner>();
+  if (spec == "single") return std::make_unique<SingleSitePartitioner>(0);
+  if (spec.rfind("block:", 0) == 0) {
+    return std::make_unique<BlockPartitioner>(
+        std::strtoull(spec.c_str() + 6, nullptr, 10));
+  }
+  std::fprintf(stderr, "unknown --partition: %s\n", spec.c_str());
+  std::exit(2);
+}
+
+struct RunResult {
+  uint64_t messages = 0;
+  uint64_t words = 0;
+  uint64_t broadcasts = 0;
+  double theory = 0.0;
+  std::string extra;
+};
+
+RunResult Dispatch(const Options& opt, const Workload& w) {
+  RunResult r;
+  const double total = w.TotalWeight();
+  if (opt.algo == "wswor") {
+    DistributedWswor sampler(WsworConfig{
+        .num_sites = opt.k, .sample_size = opt.s, .seed = opt.seed});
+    sampler.Run(w);
+    r = {sampler.stats().total_messages(), sampler.stats().words,
+         sampler.stats().broadcast_events,
+         Theorem3MessageBound(opt.k, opt.s, total),
+         "sample=" + std::to_string(sampler.Sample().size())};
+  } else if (opt.algo == "naive") {
+    NaiveDistributedWswor sampler(opt.k, opt.s, opt.seed);
+    sampler.Run(w);
+    r = {sampler.stats().total_messages(), sampler.stats().words,
+         sampler.stats().broadcast_events,
+         NaiveMessageBound(opt.k, opt.s, total), ""};
+  } else if (opt.algo == "uswor") {
+    UsworConfig config;
+    config.num_sites = opt.k;
+    config.sample_size = opt.s;
+    config.seed = opt.seed;
+    DistributedUnweightedSwor sampler(config);
+    sampler.Run(w);
+    r = {sampler.stats().total_messages(), sampler.stats().words,
+         sampler.stats().broadcast_events,
+         Theorem3MessageBound(opt.k, opt.s, static_cast<double>(opt.n)), ""};
+  } else if (opt.algo == "wswr") {
+    DistributedWeightedSwr sampler(opt.k, opt.s, opt.seed);
+    sampler.Run(w);
+    r = {sampler.stats().total_messages(), sampler.stats().words,
+         sampler.stats().broadcast_events,
+         Corollary1MessageBound(opt.k, opt.s, total),
+         "distinct=" + std::to_string(sampler.DistinctInSample())};
+  } else if (opt.algo == "residual_hh") {
+    ResidualHeavyHitterTracker tracker(
+        ResidualHhConfig{opt.k, opt.eps, opt.delta, opt.seed});
+    tracker.Run(w);
+    r = {tracker.stats().total_messages(), tracker.stats().words,
+         tracker.stats().broadcast_events,
+         Theorem4MessageBound(opt.k, opt.eps, opt.delta, total),
+         "reported=" + std::to_string(tracker.HeavyHitters().size())};
+  } else if (opt.algo == "l1") {
+    L1Tracker tracker(L1TrackerConfig{
+        .num_sites = opt.k, .eps = opt.eps, .delta = opt.delta,
+        .seed = opt.seed});
+    tracker.Run(w);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "West=%.6g trueW=%.6g",
+                  tracker.Estimate(), total);
+    r = {tracker.stats().total_messages(), tracker.stats().words,
+         tracker.stats().broadcast_events,
+         Theorem6MessageBound(opt.k, opt.eps, opt.delta, total), buf};
+  } else if (opt.algo == "det_l1") {
+    DeterministicL1Tracker tracker(opt.k, opt.eps);
+    tracker.Run(w);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "West=%.6g trueW=%.6g",
+                  tracker.Estimate(), total);
+    r = {tracker.stats().total_messages(), tracker.stats().words,
+         tracker.stats().broadcast_events,
+         opt.k * std::log(std::max(2.0, total)) / opt.eps, buf};
+  } else if (opt.algo == "sqrtk_l1") {
+    SqrtkL1Tracker tracker(opt.k, opt.eps, opt.seed);
+    tracker.Run(w);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "West=%.6g trueW=%.6g",
+                  tracker.Estimate(), total);
+    r = {tracker.stats().total_messages(), tracker.stats().words,
+         tracker.stats().broadcast_events,
+         HyzMessageBound(opt.k, opt.eps, total), buf};
+  } else if (opt.algo == "window") {
+    DistributedWindowWswor sampler(WindowConfig{
+        opt.k, opt.s, opt.window, opt.seed});
+    sampler.Run(w);
+    r = {sampler.stats().total_messages(), sampler.stats().words,
+         sampler.stats().broadcast_events, 0.0,
+         "sample=" + std::to_string(sampler.Sample().size()) +
+             " skyline=" + std::to_string(sampler.CoordinatorSkyline())};
+  } else {
+    std::fprintf(stderr, "unknown --algo: %s\n", opt.algo.c_str());
+    std::exit(2);
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace dwrs
+
+int main(int argc, char** argv) {
+  using namespace dwrs;
+  const auto opt = Parse(argc, argv);
+  const Workload w = [&] {
+    WorkloadBuilder builder;
+    builder.num_sites(opt.k)
+        .num_items(opt.n)
+        .seed(opt.seed)
+        .weights(MakeWeights(opt.dist))
+        .partitioner(MakePartition(opt.partition));
+    if (opt.algo == "wswr") builder.integer_weights(true);
+    return builder.Build();
+  }();
+  const auto result = Dispatch(opt, w);
+  if (opt.csv) {
+    std::printf("%s,%d,%d,%llu,%.6g,%llu,%llu,%llu,%.1f\n", opt.algo.c_str(),
+                opt.k, opt.s, static_cast<unsigned long long>(opt.n),
+                w.TotalWeight(),
+                static_cast<unsigned long long>(result.messages),
+                static_cast<unsigned long long>(result.words),
+                static_cast<unsigned long long>(result.broadcasts),
+                result.theory);
+  } else {
+    std::printf("algo=%s k=%d s=%d n=%llu W=%.6g\n", opt.algo.c_str(), opt.k,
+                opt.s, static_cast<unsigned long long>(opt.n),
+                w.TotalWeight());
+    std::printf("messages=%llu words=%llu broadcasts=%llu theory~%.0f %s\n",
+                static_cast<unsigned long long>(result.messages),
+                static_cast<unsigned long long>(result.words),
+                static_cast<unsigned long long>(result.broadcasts),
+                result.theory, result.extra.c_str());
+  }
+  return 0;
+}
