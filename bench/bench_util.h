@@ -1,16 +1,115 @@
 // Shared helpers for the experiment harnesses. Every bench prints
-// paper-vs-measured rows so EXPERIMENTS.md can record the comparison.
+// paper-vs-measured rows so EXPERIMENTS.md can record the comparison, and
+// can additionally emit a machine-readable BENCH_<name>.json via JsonBench
+// so the perf trajectory is tracked across PRs.
 
 #ifndef DWRS_BENCH_BENCH_UTIL_H_
 #define DWRS_BENCH_BENCH_UTIL_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "dwrs.h"
+#include "util/check.h"
 
 namespace dwrs::bench {
+
+// Collects rows of key/value fields and writes them as
+// BENCH_<name>.json:
+//   {"name": "...", "params": {...}, "rows": [{...}, {...}]}
+// Params hold run-wide settings (workload, item count); rows hold one
+// measurement each (typically: backend/config keys plus items_per_sec and
+// messages). Values are numbers or strings; field order is preserved.
+class JsonBench {
+ public:
+  explicit JsonBench(std::string name) : name_(std::move(name)) {}
+
+  JsonBench& Param(const std::string& key, double value) {
+    params_.emplace_back(key, Number(value));
+    return *this;
+  }
+  JsonBench& Param(const std::string& key, const std::string& value) {
+    params_.emplace_back(key, Quote(value));
+    return *this;
+  }
+
+  JsonBench& StartRow() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonBench& Field(const std::string& key, double value) {
+    CurrentRow().emplace_back(key, Number(value));
+    return *this;
+  }
+  JsonBench& Field(const std::string& key, uint64_t value) {
+    CurrentRow().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonBench& Field(const std::string& key, const std::string& value) {
+    CurrentRow().emplace_back(key, Quote(value));
+    return *this;
+  }
+
+  // Writes BENCH_<name>.json in the working directory; returns the path.
+  std::string Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\"name\": " << Quote(name_) << ",\n \"params\": ";
+    WriteObject(out, params_);
+    out << ",\n \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << (i == 0 ? "\n  " : ",\n  ");
+      WriteObject(out, rows_[i]);
+    }
+    out << "\n ]}\n";
+    out.flush();
+    DWRS_CHECK(out.good()) << " failed writing " << path;
+    return path;
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  Fields& CurrentRow() {
+    DWRS_CHECK(!rows_.empty()) << " Field() before StartRow()";
+    return rows_.back();
+  }
+
+  static std::string Number(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    return buf;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static void WriteObject(std::ofstream& out, const Fields& fields) {
+    out << "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << Quote(fields[i].first) << ": " << fields[i].second;
+    }
+    out << "}";
+  }
+
+  std::string name_;
+  Fields params_;
+  std::vector<Fields> rows_;
+};
 
 inline void Header(const char* experiment, const char* claim) {
   std::printf("==============================================================="
@@ -37,6 +136,31 @@ inline Workload UniformWorkload(int k, uint64_t n, uint64_t seed,
       .seed(seed)
       .weights(std::make_unique<UniformWeights>(1.0, max_weight))
       .partitioner(std::make_unique<RandomPartitioner>())
+      .Build();
+}
+
+// Skewed query/flow stream: the paper's motivating workload.
+inline Workload ZipfWorkload(int k, uint64_t n, uint64_t seed,
+                             double alpha = 1.1) {
+  return WorkloadBuilder()
+      .num_sites(k)
+      .num_items(n)
+      .seed(seed)
+      .weights(std::make_unique<ZipfWeights>(uint64_t{1} << 20, alpha))
+      .partitioner(std::make_unique<RandomPartitioner>())
+      .Build();
+}
+
+// Engine stress: self-similar bursty weights, every item on one (hopping)
+// hot site.
+inline Workload AdversarialWorkload(int k, uint64_t n, uint64_t seed,
+                                    uint64_t hop_every = 0) {
+  return WorkloadBuilder()
+      .num_sites(k)
+      .num_items(n)
+      .seed(seed)
+      .weights(std::make_unique<SelfSimilarWeights>())
+      .partitioner(std::make_unique<AdversarialPartitioner>(hop_every))
       .Build();
 }
 

@@ -9,15 +9,15 @@
 namespace dwrs {
 
 WsworCoordinator::WsworCoordinator(const WsworConfig& config,
-                                   sim::Network* network, uint64_t seed)
+                                   sim::Transport* transport, uint64_t seed)
     : config_(config),
       base_(config.ResolvedEpochBase()),
-      network_(network),
+      transport_(transport),
       rng_(seed),
       sample_(static_cast<size_t>(config.sample_size)),
       levels_(base_, config.LevelCapacity(),
               static_cast<size_t>(config.sample_size)) {
-  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(transport != nullptr);
 }
 
 void WsworCoordinator::AddToSample(const Item& item, double key) {
@@ -35,7 +35,7 @@ void WsworCoordinator::MaybeAnnounceEpoch() {
   msg.type = kWsworUpdateEpoch;
   msg.x = PowInt(base_, epoch);
   msg.words = 2;
-  network_->Broadcast(msg);
+  transport_->Broadcast(msg);
 }
 
 void WsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
@@ -56,7 +56,7 @@ void WsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
         note.type = kWsworLevelSaturated;
         note.a = static_cast<uint64_t>(saturated_level);
         note.words = 2;
-        network_->Broadcast(note);
+        transport_->Broadcast(note);
       }
       break;
     }

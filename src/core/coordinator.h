@@ -15,20 +15,31 @@
 #include "random/rng.h"
 #include "sampling/keyed_item.h"
 #include "sampling/top_key_heap.h"
-#include "sim/runtime.h"
+#include "sim/node.h"
 
 namespace dwrs {
 
+// Threading contract (audited for the concurrent engine): the class is
+// externally synchronized. OnMessage mutates sample_, levels_ and rng_,
+// and Sample()/Threshold()/StoredEntries() read the same state without
+// internal locking, so a query concurrent with message processing is a
+// data race. Under sim::Runtime everything runs on one thread; under
+// engine::Engine all OnMessage calls happen on the coordinator thread and
+// queries are only legal at quiesce points (after Engine::Flush or inside
+// a step-synchronous on_step hook), which establish a happens-before edge
+// with the coordinator thread. Keeping the coordinator lock-free keeps
+// the single-threaded hot path at the paper's O(log s) per message.
 class WsworCoordinator : public sim::CoordinatorNode {
  public:
-  WsworCoordinator(const WsworConfig& config, sim::Network* network,
+  WsworCoordinator(const WsworConfig& config, sim::Transport* transport,
                    uint64_t seed);
 
   void OnMessage(int site, const sim::Payload& msg) override;
 
   // The continuously maintained weighted SWOR: top-s keys of S ∪ D,
   // descending by key; fewer than s entries only while fewer than s items
-  // have been observed.
+  // have been observed. See the threading contract above: callers must
+  // not invoke this concurrently with OnMessage.
   std::vector<KeyedItem> Sample() const;
 
   // u: s-th largest key among sampled (regular + released) items.
@@ -53,7 +64,7 @@ class WsworCoordinator : public sim::CoordinatorNode {
 
   const WsworConfig config_;
   const double base_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   Rng rng_;
   TopKeyHeap<Item> sample_;  // S
   LevelSetManager levels_;   // D with Prop. 6 compaction

@@ -6,12 +6,12 @@
 namespace dwrs {
 
 NaiveWsworSite::NaiveWsworSite(int sample_size, int site_index,
-                               sim::Network* network, uint64_t seed)
+                               sim::Transport* transport, uint64_t seed)
     : site_index_(site_index),
-      network_(network),
+      transport_(transport),
       rng_(seed),
       local_top_(static_cast<size_t>(sample_size)) {
-  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(transport != nullptr);
 }
 
 void NaiveWsworSite::OnItem(const Item& item) {
@@ -24,7 +24,7 @@ void NaiveWsworSite::OnItem(const Item& item) {
   msg.x = item.weight;
   msg.y = key;
   msg.words = 4;
-  network_->SendToCoordinator(site_index_, msg);
+  transport_->SendToCoordinator(site_index_, msg);
 }
 
 void NaiveWsworSite::OnMessage(const sim::Payload& msg) {

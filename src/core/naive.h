@@ -27,7 +27,7 @@ enum NaiveMessageType : uint32_t {
 
 class NaiveWsworSite : public sim::SiteNode {
  public:
-  NaiveWsworSite(int sample_size, int site_index, sim::Network* network,
+  NaiveWsworSite(int sample_size, int site_index, sim::Transport* transport,
                  uint64_t seed);
 
   void OnItem(const Item& item) override;
@@ -35,7 +35,7 @@ class NaiveWsworSite : public sim::SiteNode {
 
  private:
   int site_index_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   Rng rng_;
   TopKeyHeap<Item> local_top_;
 };

@@ -9,13 +9,13 @@
 namespace dwrs {
 
 WsworSite::WsworSite(const WsworConfig& config, int site_index,
-                     sim::Network* network, uint64_t seed)
+                     sim::Transport* transport, uint64_t seed)
     : config_(config),
       site_index_(site_index),
       level_base_(config.ResolvedEpochBase()),
-      network_(network),
+      transport_(transport),
       rng_(seed) {
-  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(transport != nullptr);
   DWRS_CHECK(site_index >= 0 && site_index < config.num_sites);
 }
 
@@ -36,7 +36,7 @@ void WsworSite::OnItem(const Item& item) {
       msg.a = item.id;
       msg.x = item.weight;
       msg.words = 3;
-      network_->SendToCoordinator(site_index_, msg);
+      transport_->SendToCoordinator(site_index_, msg);
       return;
     }
   }
@@ -55,7 +55,7 @@ void WsworSite::OnItem(const Item& item) {
   msg.x = item.weight;
   msg.y = item.weight / decision.value;
   msg.words = 4;
-  network_->SendToCoordinator(site_index_, msg);
+  transport_->SendToCoordinator(site_index_, msg);
 }
 
 void WsworSite::OnMessage(const sim::Payload& msg) {

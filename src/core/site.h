@@ -15,14 +15,14 @@
 
 #include "core/config.h"
 #include "random/rng.h"
-#include "sim/runtime.h"
+#include "sim/node.h"
 #include "stream/item.h"
 
 namespace dwrs {
 
 class WsworSite : public sim::SiteNode {
  public:
-  WsworSite(const WsworConfig& config, int site_index, sim::Network* network,
+  WsworSite(const WsworConfig& config, int site_index, sim::Transport* transport,
             uint64_t seed);
 
   void OnItem(const Item& item) override;
@@ -40,7 +40,7 @@ class WsworSite : public sim::SiteNode {
   const WsworConfig config_;
   const int site_index_;
   const double level_base_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   Rng rng_;
   double threshold_ = 0.0;           // u_i, the announced epoch threshold
   std::vector<uint8_t> saturated_;   // per-level flags

@@ -12,11 +12,14 @@
 //   SlidingWindowWswor / DistributedWindowWswor — sliding windows (§6)
 //   CascadeSampler            — [7]'s chained SWOR
 //   swor estimators           — subset sums from the coordinator sample
+//   engine::Engine            — concurrent execution backend (threaded
+//                               sites, batched ingestion; src/engine/)
 
 #ifndef DWRS_DWRS_H_
 #define DWRS_DWRS_H_
 
 #include "core/naive.h"
+#include "engine/engine.h"
 #include "core/sampler.h"
 #include "estimators/swor_estimators.h"
 #include "hh/exact_hh.h"

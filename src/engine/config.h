@@ -1,0 +1,41 @@
+// Configuration of the concurrent execution engine.
+
+#ifndef DWRS_ENGINE_CONFIG_H_
+#define DWRS_ENGINE_CONFIG_H_
+
+#include <cstddef>
+
+namespace dwrs::engine {
+
+struct EngineConfig {
+  int num_sites = 4;  // k; one worker thread per site plus one coordinator
+
+  // Items per ingestion batch. The feeder buffers this many items per site
+  // before handing them to the site worker in one queue operation, so the
+  // per-item synchronization cost is one atomic op amortized over the
+  // batch. Larger batches raise throughput and the staleness of the
+  // engine-side step clock; 1 degenerates to per-item handoff.
+  size_t batch_size = 512;
+
+  // Capacity of each site's item queue, in batches. A full queue blocks
+  // the feeder (ingestion backpressure).
+  size_t item_queue_batches = 16;
+
+  // Capacity of the site->coordinator MPSC message channel. A full
+  // channel blocks the sending site worker, which in turn stalls its item
+  // queue and eventually the feeder — backpressure propagates end to end.
+  size_t message_queue_capacity = 1 << 14;
+
+  // When true, Run() quiesces the whole engine after every event before
+  // invoking the per-step hook. The execution is then bit-identical to
+  // sim::Runtime with zero delivery delay (same endpoint callbacks in the
+  // same order with the same RNG draws) — the mode the equivalence tests
+  // run — at the price of destroying pipelining. Passing an on_step hook
+  // to Run() forces this behaviour for the duration of that Run, since
+  // querying endpoints is only legal at quiesce points.
+  bool step_synchronous = false;
+};
+
+}  // namespace dwrs::engine
+
+#endif  // DWRS_ENGINE_CONFIG_H_

@@ -1,0 +1,72 @@
+#include "engine/coordinator_worker.h"
+
+#include "util/check.h"
+
+namespace dwrs::engine {
+
+CoordinatorWorker::CoordinatorWorker(sim::CoordinatorNode* node,
+                                     size_t queue_capacity, QuiesceBus* bus)
+    : node_(node), bus_(bus), inbox_(queue_capacity) {
+  DWRS_CHECK(node != nullptr);
+  DWRS_CHECK(bus != nullptr);
+  DWRS_CHECK_GT(queue_capacity, 0u);
+}
+
+CoordinatorWorker::~CoordinatorWorker() {
+  RequestStop();
+  Join();
+}
+
+void CoordinatorWorker::Start() {
+  DWRS_CHECK(!thread_.joinable());
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void CoordinatorWorker::RequestStop() {
+  closed_.store(true);
+  inbox_.Close();  // unblocks site workers stalled in PushMessage
+  Wake();
+}
+
+void CoordinatorWorker::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void CoordinatorWorker::PushMessage(int site, const sim::Payload& msg,
+                                    std::atomic<uint64_t>* stall_counter) {
+  pushed_.fetch_add(1);
+  if (!inbox_.Push(UpstreamMessage{site, msg}, stall_counter)) {
+    pushed_.fetch_sub(1);  // closed during shutdown
+    return;
+  }
+  Wake();
+}
+
+void CoordinatorWorker::Wake() {
+  std::lock_guard<std::mutex> lock(park_mutex_);
+  park_cv_.notify_one();
+}
+
+bool CoordinatorWorker::DrainOnce() {
+  UpstreamMessage m;
+  bool did_work = false;
+  while (inbox_.TryPop(&m)) {
+    node_->OnMessage(m.site, m.msg);
+    done_.fetch_add(1);
+    did_work = true;
+  }
+  if (did_work) bus_->NotifyProgress();
+  return did_work;
+}
+
+void CoordinatorWorker::ThreadMain() {
+  for (;;) {
+    if (DrainOnce()) continue;
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    if (closed_.load()) break;
+    if (inbox_.SizeApprox() > 0) continue;
+    park_cv_.wait(lock);
+  }
+}
+
+}  // namespace dwrs::engine

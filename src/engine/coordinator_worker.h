@@ -1,0 +1,71 @@
+// The coordinator thread. Consumes the bounded MPSC message channel fed
+// by all site workers and is the only thread that ever invokes the
+// attached CoordinatorNode, so coordinator endpoints (whose hot path is
+// the paper's O(log s) heap update) stay lock-free. Downstream sends the
+// endpoint performs from OnMessage are routed to the site workers'
+// control channels by the engine transport.
+//
+// Backpressure: the bounded inbox blocks a sending site worker when the
+// coordinator falls behind; the stalled site stops draining its item
+// queue, which eventually blocks the feeder — end-to-end flow control.
+
+#ifndef DWRS_ENGINE_COORDINATOR_WORKER_H_
+#define DWRS_ENGINE_COORDINATOR_WORKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "engine/channels.h"
+#include "sim/node.h"
+
+namespace dwrs::engine {
+
+class CoordinatorWorker {
+ public:
+  CoordinatorWorker(sim::CoordinatorNode* node, size_t queue_capacity,
+                    QuiesceBus* bus);
+  ~CoordinatorWorker();
+
+  CoordinatorWorker(const CoordinatorWorker&) = delete;
+  CoordinatorWorker& operator=(const CoordinatorWorker&) = delete;
+
+  void Start();
+  void RequestStop();
+  void Join();
+
+  // Site worker side (multi-producer). Blocks while the inbox is full.
+  void PushMessage(int site, const sim::Payload& msg,
+                   std::atomic<uint64_t>* stall_counter);
+
+  bool Idle() const { return done_.load() == pushed_.load(); }
+  uint64_t units_pushed() const { return pushed_.load(); }
+
+ private:
+  struct UpstreamMessage {
+    int site = 0;
+    sim::Payload msg;
+  };
+
+  void ThreadMain();
+  bool DrainOnce();
+  void Wake();
+
+  sim::CoordinatorNode* const node_;
+  QuiesceBus* const bus_;
+  Channel<UpstreamMessage> inbox_;
+
+  std::atomic<uint64_t> pushed_{0};
+  std::atomic<uint64_t> done_{0};
+
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<bool> closed_{false};
+  std::thread thread_;
+};
+
+}  // namespace dwrs::engine
+
+#endif  // DWRS_ENGINE_COORDINATOR_WORKER_H_

@@ -1,0 +1,142 @@
+// The concurrent execution engine: the production-oriented counterpart of
+// the step-synchronous sim::Runtime. Each site runs on its own worker
+// thread consuming a bounded SPSC queue of ingestion batches; protocol
+// messages flow to a dedicated coordinator thread over a bounded MPSC
+// channel with end-to-end backpressure; coordinator->site control traffic
+// returns over per-site channels. Endpoints implement the same
+// sim::SiteNode / sim::CoordinatorNode / sim::Transport interfaces as
+// under the simulator (sim/node.h), so WsworSite/WsworCoordinator, the
+// naive baseline, and the unweighted substrate run unmodified on either
+// backend.
+//
+//   engine::Engine eng({.num_sites = k});
+//   // build endpoints against eng.transport(), then:
+//   for (int i = 0; i < k; ++i) eng.AttachSite(i, sites[i]);
+//   eng.AttachCoordinator(&coord);
+//   eng.Run(workload);          // batched, pipelined; quiescent on return
+//   auto sample = coord.Sample();  // legal: Run ends at a quiesce point
+//
+// Querying endpoints is legal exactly at quiesce points — after Run() or
+// Flush() returns, or inside a Run() on_step hook (which forces
+// step-synchronous execution). The quiesce handshake establishes the
+// happens-before edge that makes worker-thread writes visible to the
+// caller; see the threading contract in core/coordinator.h.
+//
+// Ingestion (Push/Run/Flush) is single-threaded by contract: the calling
+// thread is the feeder and the single producer of every item queue.
+//
+// Teardown: endpoints are non-owned and worker threads call into them,
+// so an endpoint must never be destroyed while the engine is running
+// non-quiescently. Safe patterns: (a) let Run()/Flush() return (the
+// engine is quiescent; parked workers touch no endpoint again), (b) call
+// Shutdown() before the endpoints go out of scope, or (c) declare the
+// endpoints before the Engine so the Engine — which joins its workers in
+// its destructor — dies first. Destroying endpoints below a mid-stream
+// engine is a use-after-free on the worker threads.
+//
+// Tickers (sim::Runtime::AttachTicker) are not supported: OnRound models
+// the synchronous round structure of the paper, which a pipelined engine
+// deliberately gives up. Time-driven protocols (sliding window) stay on
+// the simulator backend.
+
+#ifndef DWRS_ENGINE_ENGINE_H_
+#define DWRS_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/channels.h"
+#include "engine/config.h"
+#include "engine/coordinator_worker.h"
+#include "engine/site_worker.h"
+#include "engine/stats.h"
+#include "sim/node.h"
+#include "stream/item.h"
+#include "stream/workload.h"
+
+namespace dwrs::engine {
+
+class Engine : public sim::Transport {
+ public:
+  explicit Engine(const EngineConfig& config);
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // The transport endpoints are constructed against (mirrors
+  // sim::Runtime::network()).
+  sim::Transport& transport() { return *this; }
+  int num_sites() const { return config_.num_sites; }
+  const EngineConfig& config() const { return config_; }
+  const EngineStats& stats() const { return stats_; }
+
+  // Non-owning; endpoints must outlive the engine. All sites and the
+  // coordinator must be attached before the first Push/Run/Flush.
+  void AttachSite(int site, sim::SiteNode* node);
+  void AttachCoordinator(sim::CoordinatorNode* node);
+
+  // Feeds one event into the site's current ingestion batch; hands the
+  // batch to the site worker every config().batch_size items (blocking
+  // when the site's queue is full). Feeder thread only.
+  void Push(int site, const Item& item);
+
+  // Hands off all partial batches and blocks until the engine is fully
+  // quiescent: all item queues drained, all messages processed, no
+  // endpoint callback running. On return, querying endpoints is legal.
+  void Flush();
+
+  // Runs the full workload and ends with Flush(). If `on_step` is set the
+  // run is step-synchronous: the engine quiesces after every event and
+  // invokes the hook with the 1-based prefix length — the continuous-
+  // query mode, mirroring sim::Runtime::Run. With config().step_synchronous
+  // the same pacing applies even without a hook.
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr);
+
+  // Stops and joins all worker threads (idempotent; the destructor calls
+  // it). Pending un-flushed work may be dropped; call Flush() first for a
+  // clean end of stream.
+  void Shutdown();
+
+  // --- sim::Transport (called from worker threads) --------------------
+  void SendToCoordinator(int site, const sim::Payload& msg) override;
+  void SendToSite(int site, const sim::Payload& msg) override;
+  void Broadcast(const sim::Payload& msg) override;
+  // Events handed off to workers so far. Runs ahead of any individual
+  // endpoint's progress by at most the queued batches (exact at quiesce
+  // points and in step-synchronous mode).
+  uint64_t step() const override {
+    return steps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Start();
+  void HandOffBatch(int site);
+  void WaitQuiesce();
+  bool AllIdle() const;
+  uint64_t TotalUnitsPushed() const;
+  void Account(const sim::Payload& msg, bool upstream);
+
+  const EngineConfig config_;
+  EngineStats stats_;
+  QuiesceBus bus_;
+
+  std::vector<sim::SiteNode*> site_nodes_;
+  sim::CoordinatorNode* coordinator_node_ = nullptr;
+
+  std::vector<std::unique_ptr<SiteWorker>> site_workers_;
+  std::unique_ptr<CoordinatorWorker> coordinator_worker_;
+
+  std::vector<ItemBatch> pending_;  // per-site ingestion buffers
+  std::atomic<uint64_t> steps_{0};
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace dwrs::engine
+
+#endif  // DWRS_ENGINE_ENGINE_H_

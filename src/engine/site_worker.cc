@@ -1,0 +1,122 @@
+#include "engine/site_worker.h"
+
+#include "util/check.h"
+
+namespace dwrs::engine {
+
+SiteWorker::SiteWorker(sim::SiteNode* node, size_t queue_batches,
+                       QuiesceBus* bus)
+    : node_(node), bus_(bus), items_(queue_batches), control_(0) {
+  DWRS_CHECK(node != nullptr);
+  DWRS_CHECK(bus != nullptr);
+}
+
+SiteWorker::~SiteWorker() {
+  RequestStop();
+  Join();
+}
+
+void SiteWorker::Start() {
+  DWRS_CHECK(!thread_.joinable());
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void SiteWorker::RequestStop() {
+  closed_.store(true);
+  control_.Close();
+  Wake();
+  {
+    std::lock_guard<std::mutex> lock(space_mutex_);
+    space_cv_.notify_all();
+  }
+}
+
+void SiteWorker::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void SiteWorker::PushBatch(ItemBatch&& batch,
+                           std::atomic<uint64_t>* stall_counter) {
+  DWRS_CHECK(!batch.empty());
+  // pushed is incremented before the enqueue so a batch is never invisible
+  // to the quiesce check while in flight.
+  batches_pushed_.fetch_add(1);
+  if (!items_.TryPush(batch)) {
+    if (stall_counter != nullptr) {
+      stall_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    std::unique_lock<std::mutex> lock(space_mutex_);
+    while (!items_.TryPush(batch)) {
+      if (closed_.load()) {  // shutting down mid-stream: drop the batch
+        batches_pushed_.fetch_sub(1);
+        return;
+      }
+      space_cv_.wait(lock);
+    }
+  }
+  Wake();
+}
+
+void SiteWorker::PushControl(const sim::Payload& msg) {
+  ctrl_pushed_.fetch_add(1);
+  if (!control_.Push(msg)) {  // closed during shutdown
+    ctrl_pushed_.fetch_sub(1);
+    return;
+  }
+  Wake();
+}
+
+void SiteWorker::Wake() {
+  std::lock_guard<std::mutex> lock(park_mutex_);
+  park_cv_.notify_one();
+}
+
+void SiteWorker::DrainControl() {
+  if (control_.SizeApprox() == 0) return;  // the per-item fast path
+  sim::Payload msg;
+  while (control_.TryPop(&msg)) {
+    node_->OnMessage(msg);
+    ctrl_done_.fetch_add(1);
+  }
+  bus_->NotifyProgress();
+}
+
+bool SiteWorker::DrainOnce() {
+  bool did_work = false;
+  DrainControl();
+  ItemBatch batch;
+  if (items_.TryPop(&batch)) {
+    // A ring slot just freed up; unblock the feeder before the batch is
+    // processed so ingestion overlaps with site work.
+    {
+      std::lock_guard<std::mutex> lock(space_mutex_);
+      space_cv_.notify_one();
+    }
+    for (const Item& item : batch) {
+      // Apply any control traffic that arrived mid-batch first: fresher
+      // thresholds suppress sends, keeping message counts near the
+      // step-synchronous ideal. Costs one relaxed load per item.
+      DrainControl();
+      node_->OnItem(item);
+    }
+    batches_done_.fetch_add(1);
+    bus_->NotifyProgress();
+    did_work = true;
+  }
+  return did_work;
+}
+
+void SiteWorker::ThreadMain() {
+  for (;;) {
+    if (DrainOnce()) continue;
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    if (closed_.load()) break;
+    // Recheck under the park mutex: a producer that pushed after our
+    // DrainOnce either sees us before wait() (its Wake blocks on the
+    // mutex until we release it in wait) or we see its push here.
+    if (HasWorkHint()) continue;
+    park_cv_.wait(lock);
+  }
+}
+
+}  // namespace dwrs::engine

@@ -1,0 +1,92 @@
+// One worker thread per site. The worker owns the consumer side of the
+// site's bounded SPSC item queue (slots are whole ingestion batches) and
+// of its control channel (coordinator -> site), and is the only thread
+// that ever invokes the attached SiteNode — endpoints therefore need no
+// locking (see the contract in sim/node.h).
+//
+// Quiesce accounting: every unit of work (one item batch, one control
+// message) increments a pushed counter before it is enqueued and a done
+// counter only after the endpoint callback — including any sends the
+// callback performed, which increment other queues' pushed counters
+// first — has returned. Hence at any instant where all pushed==done
+// across the engine, no work exists and none is in flight.
+
+#ifndef DWRS_ENGINE_SITE_WORKER_H_
+#define DWRS_ENGINE_SITE_WORKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/channels.h"
+#include "sim/node.h"
+#include "stream/item.h"
+
+namespace dwrs::engine {
+
+using ItemBatch = std::vector<Item>;
+
+class SiteWorker {
+ public:
+  SiteWorker(sim::SiteNode* node, size_t queue_batches, QuiesceBus* bus);
+  ~SiteWorker();
+
+  SiteWorker(const SiteWorker&) = delete;
+  SiteWorker& operator=(const SiteWorker&) = delete;
+
+  void Start();
+  // Closes both inbound channels and wakes the thread; Join() reaps it.
+  void RequestStop();
+  void Join();
+
+  // Feeder side (single producer). Blocks while the item ring is full —
+  // the engine's ingestion backpressure. Counts waits in `stall_counter`.
+  void PushBatch(ItemBatch&& batch, std::atomic<uint64_t>* stall_counter);
+
+  // Coordinator side. Never blocks (the control channel is unbounded to
+  // break the site⇄coordinator wait cycle; see channels.h).
+  void PushControl(const sim::Payload& msg);
+
+  // True iff every pushed unit has been fully processed.
+  bool Idle() const {
+    return batches_done_.load() == batches_pushed_.load() &&
+           ctrl_done_.load() == ctrl_pushed_.load();
+  }
+  // Monotone work-creation counter, used by the double-scan quiesce check.
+  uint64_t units_pushed() const {
+    return batches_pushed_.load() + ctrl_pushed_.load();
+  }
+
+ private:
+  void ThreadMain();
+  bool DrainOnce();
+  void DrainControl();
+  bool HasWorkHint() const {
+    return !items_.Empty() || control_.SizeApprox() > 0;
+  }
+  void Wake();
+
+  sim::SiteNode* const node_;
+  QuiesceBus* const bus_;
+  SpscRing<ItemBatch> items_;
+  Channel<sim::Payload> control_;  // unbounded
+
+  std::atomic<uint64_t> batches_pushed_{0};
+  std::atomic<uint64_t> batches_done_{0};
+  std::atomic<uint64_t> ctrl_pushed_{0};
+  std::atomic<uint64_t> ctrl_done_{0};
+
+  std::mutex park_mutex_;  // worker parks here when idle
+  std::condition_variable park_cv_;
+  std::mutex space_mutex_;  // feeder parks here when the ring is full
+  std::condition_variable space_cv_;
+  std::atomic<bool> closed_{false};
+  std::thread thread_;
+};
+
+}  // namespace dwrs::engine
+
+#endif  // DWRS_ENGINE_SITE_WORKER_H_

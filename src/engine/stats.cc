@@ -1,0 +1,30 @@
+#include "engine/stats.h"
+
+#include <sstream>
+
+namespace dwrs::engine {
+
+sim::MessageStats EngineStats::MessageSnapshot() const {
+  sim::MessageStats out;
+  out.site_to_coord = site_to_coord.load(std::memory_order_relaxed);
+  out.coord_to_site = coord_to_site.load(std::memory_order_relaxed);
+  out.broadcast_events = broadcast_events.load(std::memory_order_relaxed);
+  out.words = words.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < by_type.size(); ++i) {
+    out.by_type[i] = by_type[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::string EngineStats::ToString() const {
+  std::ostringstream os;
+  os << MessageSnapshot().ToString()
+     << " items=" << items_ingested.load(std::memory_order_relaxed)
+     << " batches=" << batches_ingested.load(std::memory_order_relaxed)
+     << " ingest_stalls=" << ingest_stalls.load(std::memory_order_relaxed)
+     << " upstream_stalls=" << upstream_stalls.load(std::memory_order_relaxed)
+     << " quiesces=" << quiesces.load(std::memory_order_relaxed);
+  return os.str();
+}
+
+}  // namespace dwrs::engine

@@ -1,0 +1,53 @@
+// Traffic and execution counters of the concurrent engine — the
+// counterpart of sim::MessageStats, extended with engine-specific
+// counters (batches, backpressure stalls, quiesce points).
+//
+// All fields are atomics because they are written from site threads, the
+// coordinator thread, and the feeder concurrently. Increments use relaxed
+// ordering: exact totals are only read at quiesce points, where the
+// engine's pushed/done counter handshake already establishes the
+// happens-before edges that make the relaxed writes visible.
+
+#ifndef DWRS_ENGINE_STATS_H_
+#define DWRS_ENGINE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sim/message.h"
+
+namespace dwrs::engine {
+
+struct EngineStats {
+  // Message traffic, mirroring sim::MessageStats field for field.
+  std::atomic<uint64_t> site_to_coord{0};
+  std::atomic<uint64_t> coord_to_site{0};
+  std::atomic<uint64_t> broadcast_events{0};
+  std::atomic<uint64_t> words{0};
+  std::array<std::atomic<uint64_t>, 32> by_type{};
+
+  // Engine execution counters.
+  std::atomic<uint64_t> items_ingested{0};
+  std::atomic<uint64_t> batches_ingested{0};
+  std::atomic<uint64_t> ingest_stalls{0};    // feeder blocked: item queue full
+  std::atomic<uint64_t> upstream_stalls{0};  // site blocked: MPSC channel full
+  std::atomic<uint64_t> quiesces{0};
+
+  uint64_t total_messages() const {
+    return site_to_coord.load(std::memory_order_relaxed) +
+           coord_to_site.load(std::memory_order_relaxed);
+  }
+
+  // Snapshot of the traffic counters in the simulator's stats type, so
+  // sim-vs-engine comparisons and existing reporting code work unchanged.
+  // Only meaningful at a quiesce point.
+  sim::MessageStats MessageSnapshot() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace dwrs::engine
+
+#endif  // DWRS_ENGINE_STATS_H_

@@ -73,10 +73,10 @@ enum MgMessageType : uint32_t {
 
 class DistributedMgHh::Site : public sim::SiteNode {
  public:
-  Site(int index, size_t capacity, uint64_t sync_every, sim::Network* network)
+  Site(int index, size_t capacity, uint64_t sync_every, sim::Transport* transport)
       : index_(index),
         sync_every_(sync_every),
-        network_(network),
+        transport_(transport),
         summary_(capacity) {}
 
   void OnItem(const Item& item) override {
@@ -100,20 +100,20 @@ class DistributedMgHh::Site : public sim::SiteNode {
       msg.a = e.id;
       msg.x = e.count;
       msg.words = 3;
-      network_->SendToCoordinator(index_, msg);
+      transport_->SendToCoordinator(index_, msg);
     }
     sim::Payload done;
     done.type = kMgSync;
     done.a = entries.size();
     done.x = summary_.total_weight();
     done.words = 3;
-    network_->SendToCoordinator(index_, done);
+    transport_->SendToCoordinator(index_, done);
   }
 
   int index_;
   uint64_t sync_every_;
   uint64_t since_sync_ = 0;
-  sim::Network* network_;
+  sim::Transport* transport_;
   MisraGries summary_;
 };
 

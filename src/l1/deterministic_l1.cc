@@ -4,10 +4,10 @@
 
 namespace dwrs {
 
-DetL1Site::DetL1Site(double eps, int site_index, sim::Network* network)
-    : eps_(eps), site_index_(site_index), network_(network) {
+DetL1Site::DetL1Site(double eps, int site_index, sim::Transport* transport)
+    : eps_(eps), site_index_(site_index), transport_(transport) {
   DWRS_CHECK(eps > 0.0 && eps < 1.0);
-  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(transport != nullptr);
 }
 
 void DetL1Site::OnItem(const Item& item) {
@@ -22,7 +22,7 @@ void DetL1Site::OnItem(const Item& item) {
   msg.type = kDetL1Report;
   msg.x = local_total_;
   msg.words = 2;
-  network_->SendToCoordinator(site_index_, msg);
+  transport_->SendToCoordinator(site_index_, msg);
 }
 
 void DetL1Site::OnMessage(const sim::Payload& msg) {

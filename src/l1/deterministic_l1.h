@@ -23,7 +23,7 @@ enum DetL1MessageType : uint32_t {
 
 class DetL1Site : public sim::SiteNode {
  public:
-  DetL1Site(double eps, int site_index, sim::Network* network);
+  DetL1Site(double eps, int site_index, sim::Transport* transport);
 
   void OnItem(const Item& item) override;
   void OnMessage(const sim::Payload& msg) override;
@@ -31,7 +31,7 @@ class DetL1Site : public sim::SiteNode {
  private:
   double eps_;
   int site_index_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   double local_total_ = 0.0;
   double last_reported_ = 0.0;
 };

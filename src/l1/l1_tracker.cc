@@ -21,14 +21,14 @@ uint64_t L1TrackerConfig::Duplication() const {
 }
 
 L1Site::L1Site(const L1TrackerConfig& config, int site_index,
-               sim::Network* network, uint64_t seed)
+               sim::Transport* transport, uint64_t seed)
     : config_(config),
       ell_(config.Duplication()),
       max_batch_(config.SampleSize()),
       site_index_(site_index),
-      network_(network),
+      transport_(transport),
       rng_(seed) {
-  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(transport != nullptr);
   DWRS_CHECK_GE(ell_, static_cast<uint64_t>(max_batch_));
 }
 
@@ -52,7 +52,7 @@ void L1Site::OnItem(const Item& item) {
     msg.x = item.weight;
     msg.y = item.weight / t;
     msg.words = 4;
-    network_->SendToCoordinator(site_index_, msg);
+    transport_->SendToCoordinator(site_index_, msg);
   }
 }
 

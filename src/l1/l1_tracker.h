@@ -47,7 +47,7 @@ struct L1TrackerConfig {
 // Site protocol: batched duplication into the precision sampler.
 class L1Site : public sim::SiteNode {
  public:
-  L1Site(const L1TrackerConfig& config, int site_index, sim::Network* network,
+  L1Site(const L1TrackerConfig& config, int site_index, sim::Transport* transport,
          uint64_t seed);
 
   void OnItem(const Item& item) override;
@@ -58,7 +58,7 @@ class L1Site : public sim::SiteNode {
   const uint64_t ell_;
   const int max_batch_;  // s: more copies than this can never matter
   int site_index_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   Rng rng_;
   double threshold_ = 0.0;
 };

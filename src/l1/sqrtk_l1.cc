@@ -8,9 +8,9 @@
 
 namespace dwrs {
 
-SqrtkL1Site::SqrtkL1Site(int site_index, sim::Network* network, uint64_t seed)
-    : site_index_(site_index), network_(network), rng_(seed) {
-  DWRS_CHECK(network != nullptr);
+SqrtkL1Site::SqrtkL1Site(int site_index, sim::Transport* transport, uint64_t seed)
+    : site_index_(site_index), transport_(transport), rng_(seed) {
+  DWRS_CHECK(transport != nullptr);
 }
 
 void SqrtkL1Site::Report() {
@@ -20,7 +20,7 @@ void SqrtkL1Site::Report() {
   msg.type = kSqrtkReport;
   msg.x = local_total_;
   msg.words = 2;
-  network_->SendToCoordinator(site_index_, msg);
+  transport_->SendToCoordinator(site_index_, msg);
 }
 
 void SqrtkL1Site::OnItem(const Item& item) {
@@ -51,14 +51,14 @@ void SqrtkL1Site::OnMessage(const sim::Payload& msg) {
 }
 
 SqrtkL1Coordinator::SqrtkL1Coordinator(int num_sites, double eps,
-                                       sim::Network* network)
+                                       sim::Transport* transport)
     : num_sites_(num_sites),
       eps_(eps),
-      network_(network),
+      transport_(transport),
       last_report_(static_cast<size_t>(num_sites), 0.0),
       active_(static_cast<size_t>(num_sites), 0) {
   DWRS_CHECK(eps > 0.0 && eps < 1.0);
-  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(transport != nullptr);
 }
 
 double SqrtkL1Coordinator::Estimate() const {
@@ -94,7 +94,7 @@ void SqrtkL1Coordinator::MaybeAdvancePhase() {
   msg.type = kSqrtkNewPhase;
   msg.x = q_;
   msg.words = 2;
-  network_->Broadcast(msg);
+  transport_->Broadcast(msg);
 }
 
 void SqrtkL1Coordinator::OnMessage(int site, const sim::Payload& msg) {

@@ -32,7 +32,7 @@ enum SqrtkL1MessageType : uint32_t {
 
 class SqrtkL1Site : public sim::SiteNode {
  public:
-  SqrtkL1Site(int site_index, sim::Network* network, uint64_t seed);
+  SqrtkL1Site(int site_index, sim::Transport* transport, uint64_t seed);
 
   void OnItem(const Item& item) override;
   void OnMessage(const sim::Payload& msg) override;
@@ -41,7 +41,7 @@ class SqrtkL1Site : public sim::SiteNode {
   void Report();
 
   int site_index_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   Rng rng_;
   double q_ = 1.0;  // per-unit-weight reporting probability
   double local_total_ = 0.0;
@@ -51,7 +51,7 @@ class SqrtkL1Site : public sim::SiteNode {
 
 class SqrtkL1Coordinator : public sim::CoordinatorNode {
  public:
-  SqrtkL1Coordinator(int num_sites, double eps, sim::Network* network);
+  SqrtkL1Coordinator(int num_sites, double eps, sim::Transport* transport);
 
   void OnMessage(int site, const sim::Payload& msg) override;
 
@@ -65,7 +65,7 @@ class SqrtkL1Coordinator : public sim::CoordinatorNode {
 
   int num_sites_;
   double eps_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   std::vector<double> last_report_;
   std::vector<uint8_t> active_;
   double sum_reports_ = 0.0;

@@ -10,10 +10,11 @@
 #include <vector>
 
 #include "sim/message.h"
+#include "sim/node.h"
 
 namespace dwrs::sim {
 
-class Network {
+class Network : public Transport {
  public:
   // delivery_delay = 0 means messages become deliverable immediately
   // (still FIFO); d > 0 delays each message by d stream steps. When
@@ -27,19 +28,19 @@ class Network {
 
   int num_sites() const { return num_sites_; }
 
-  // --- senders -------------------------------------------------------
-  void SendToCoordinator(int site, const Payload& msg);
-  void SendToSite(int site, const Payload& msg);
+  // --- senders (Transport) -------------------------------------------
+  void SendToCoordinator(int site, const Payload& msg) override;
+  void SendToSite(int site, const Payload& msg) override;
 
   // Due step for the next enqueue on `channel` (0..k-1 up, k..2k-1 down),
   // honouring both the configured delay/jitter and per-channel FIFO.
   uint64_t NextDueStep(size_t channel);
   // Accounted as num_sites() messages, delivered to every site.
-  void Broadcast(const Payload& msg);
+  void Broadcast(const Payload& msg) override;
 
   // --- delivery (driven by Runtime) ----------------------------------
   void AdvanceStep() { ++step_; }
-  uint64_t step() const { return step_; }
+  uint64_t step() const override { return step_; }
 
   struct Delivery {
     bool to_coordinator = false;

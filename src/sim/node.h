@@ -1,0 +1,74 @@
+// Protocol endpoint and transport interfaces shared by every execution
+// backend. A protocol is written once against these three interfaces and
+// then runs unmodified on either backend:
+//
+//   sim::Runtime    — single-threaded, step-synchronous simulated network
+//                     (src/sim/network.h); exact, deterministic, counts
+//                     messages per the paper's model.
+//   engine::Engine  — multi-threaded execution engine (src/engine/); one
+//                     thread per site, batched ingestion, MPSC channel to
+//                     a coordinator thread.
+//
+// Endpoints are single-threaded by contract: the backend guarantees that
+// OnItem / OnMessage / OnRound of one endpoint are never invoked
+// concurrently, so endpoint implementations need no locking.
+
+#ifndef DWRS_SIM_NODE_H_
+#define DWRS_SIM_NODE_H_
+
+#include <cstdint>
+
+#include "sim/message.h"
+#include "stream/item.h"
+
+namespace dwrs::sim {
+
+// The send side of the coordinator model. Implemented by sim::Network
+// (FIFO queues with delay/jitter) and engine::EngineTransport (bounded
+// inter-thread channels). Endpoints depend only on this interface, which
+// keeps the concurrent engine free of the simulated network and vice
+// versa.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Site `site` sends one message up to the coordinator.
+  virtual void SendToCoordinator(int site, const Payload& msg) = 0;
+  // The coordinator sends one message down to site `site`.
+  virtual void SendToSite(int site, const Payload& msg) = 0;
+  // Coordinator -> every site; accounted as num_sites messages (as in the
+  // paper's analysis) plus one broadcast event.
+  virtual void Broadcast(const Payload& msg) = 0;
+
+  // Monotone event clock: the number of stream events observed so far.
+  // Exact under the step-synchronous simulator; under the concurrent
+  // engine it is the ingestion count, which may run slightly ahead of the
+  // observing endpoint (time-driven protocols such as sliding-window
+  // expiry see an upper bound on the true step).
+  virtual uint64_t step() const = 0;
+};
+
+// A protocol endpoint running at a site. Implementations receive their
+// site index and a Transport for sending at construction time.
+class SiteNode {
+ public:
+  virtual ~SiteNode() = default;
+  virtual void OnItem(const Item& item) = 0;
+  virtual void OnMessage(const Payload& msg) = 0;
+  // Invoked once per global round for sites registered via
+  // Runtime::AttachTicker. In the paper's synchronous model every site
+  // knows the round number at no message cost; protocols whose state
+  // evolves with time alone (e.g. sliding-window expiry) hook this.
+  // Backend note: only the step-synchronous simulator drives tickers.
+  virtual void OnRound(uint64_t /*step*/) {}
+};
+
+class CoordinatorNode {
+ public:
+  virtual ~CoordinatorNode() = default;
+  virtual void OnMessage(int site, const Payload& msg) = 0;
+};
+
+}  // namespace dwrs::sim
+
+#endif  // DWRS_SIM_NODE_H_

@@ -11,30 +11,11 @@
 #include <vector>
 
 #include "sim/network.h"
+#include "sim/node.h"
 #include "stream/item.h"
 #include "stream/workload.h"
 
 namespace dwrs::sim {
-
-// A protocol endpoint running at a site. Implementations receive their
-// site index and a Network for sending at attach time.
-class SiteNode {
- public:
-  virtual ~SiteNode() = default;
-  virtual void OnItem(const Item& item) = 0;
-  virtual void OnMessage(const Payload& msg) = 0;
-  // Invoked once per global round for sites registered via
-  // Runtime::AttachTicker. In the paper's synchronous model every site
-  // knows the round number at no message cost; protocols whose state
-  // evolves with time alone (e.g. sliding-window expiry) hook this.
-  virtual void OnRound(uint64_t /*step*/) {}
-};
-
-class CoordinatorNode {
- public:
-  virtual ~CoordinatorNode() = default;
-  virtual void OnMessage(int site, const Payload& msg) = 0;
-};
 
 class Runtime {
  public:

@@ -102,6 +102,25 @@ double DoublingHeavyWeights::WeightAt(uint64_t index, Rng& /*rng*/) {
   return w;
 }
 
+SelfSimilarWeights::SelfSimilarWeights(double bias, int levels)
+    : bias_(bias), levels_(levels) {
+  DWRS_CHECK(bias > 0.0 && bias < 1.0);
+  DWRS_CHECK(levels >= 1 && levels <= 40);
+}
+
+double SelfSimilarWeights::WeightAt(uint64_t index, Rng& /*rng*/) {
+  // One-bits contribute `bias`, zero-bits (1 - bias), normalized by the
+  // minimum per-bit factor so the smallest weight is 1.
+  const double lo = std::min(bias_, 1.0 - bias_);
+  const double one_factor = bias_ / lo;
+  const double zero_factor = (1.0 - bias_) / lo;
+  double weight = 1.0;
+  for (int level = 0; level < levels_; ++level) {
+    weight *= ((index >> level) & 1) ? one_factor : zero_factor;
+  }
+  return weight;
+}
+
 std::vector<double> MaterializeWeights(WeightGenerator& gen, uint64_t count,
                                        Rng& rng) {
   std::vector<double> out;

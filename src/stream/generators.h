@@ -121,6 +121,24 @@ class DoublingHeavyWeights : public WeightGenerator {
   uint64_t next_expected_ = 0;  // enforces sequential use
 };
 
+// Self-similar "b-model" weights: the 80/20 rule applied recursively.
+// The weight at position i is a product over the low `levels` bits of i —
+// each one-bit contributes `bias`, each zero-bit (1 - bias) — normalized
+// so the minimum weight is 1. Deterministic, and bursty at every time
+// scale: any aligned 2^j-window concentrates a `bias` fraction of its
+// weight in one half. The classic self-similar traffic model, used as an
+// engine stress workload (weights spanning ~(bias/(1-bias))^levels with
+// heavy items clustered in bursts rather than spread uniformly).
+class SelfSimilarWeights : public WeightGenerator {
+ public:
+  explicit SelfSimilarWeights(double bias = 0.7, int levels = 16);
+  double WeightAt(uint64_t index, Rng& rng) override;
+
+ private:
+  double bias_;
+  int levels_;
+};
+
 // Materializes `count` weights from a generator (positions 0..count-1).
 std::vector<double> MaterializeWeights(WeightGenerator& gen, uint64_t count,
                                        Rng& rng);

@@ -23,6 +23,16 @@ int SingleSitePartitioner::SiteFor(uint64_t /*index*/, int num_sites,
   return site_;
 }
 
+AdversarialPartitioner::AdversarialPartitioner(uint64_t hop_every)
+    : hop_every_(hop_every) {}
+
+int AdversarialPartitioner::SiteFor(uint64_t index, int num_sites,
+                                    Rng& /*rng*/) {
+  if (hop_every_ == 0) return 0;
+  return static_cast<int>((index / hop_every_) %
+                          static_cast<uint64_t>(num_sites));
+}
+
 BlockPartitioner::BlockPartitioner(uint64_t block_len)
     : block_len_(block_len) {
   DWRS_CHECK_GT(block_len, 0u);

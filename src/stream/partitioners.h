@@ -41,6 +41,23 @@ class SingleSitePartitioner : public Partitioner {
   int site_;
 };
 
+// The concurrent-engine stress case: every item lands on one hot site
+// while the remaining k-1 sit idle — the worst case for per-site
+// threading (zero parallelism, maximum pressure on a single item queue).
+// With hop_every > 0 the hot site advances every `hop_every` items,
+// sweeping the saturation across workers; hop_every == 0 pins it to site
+// 0 forever. Distinct from SingleSitePartitioner, which models the
+// protocol's two-party degeneration — this one exists to saturate and
+// rotate engine queues under load.
+class AdversarialPartitioner : public Partitioner {
+ public:
+  explicit AdversarialPartitioner(uint64_t hop_every = 0);
+  int SiteFor(uint64_t index, int num_sites, Rng& rng) override;
+
+ private:
+  uint64_t hop_every_;
+};
+
 // Contiguous blocks of `block_len` items rotate across sites — the
 // Theorem 7 lower-bound schedule (each site receives its 2k^i updates
 // consecutively within an epoch).

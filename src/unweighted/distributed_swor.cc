@@ -16,10 +16,10 @@ double UsworConfig::ResolvedEpochBase() const {
 }
 
 UsworSite::UsworSite(const UsworConfig& config, int site_index,
-                     sim::Network* network, uint64_t seed)
-    : site_index_(site_index), network_(network), rng_(seed) {
+                     sim::Transport* transport, uint64_t seed)
+    : site_index_(site_index), transport_(transport), rng_(seed) {
   DWRS_CHECK(site_index >= 0 && site_index < config.num_sites);
-  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(transport != nullptr);
 }
 
 void UsworSite::OnItem(const Item& item) {
@@ -31,7 +31,7 @@ void UsworSite::OnItem(const Item& item) {
   msg.x = item.weight;  // carried through for interface parity
   msg.y = key;
   msg.words = 3;
-  network_->SendToCoordinator(site_index_, msg);
+  transport_->SendToCoordinator(site_index_, msg);
 }
 
 void UsworSite::OnMessage(const sim::Payload& msg) {
@@ -41,12 +41,12 @@ void UsworSite::OnMessage(const sim::Payload& msg) {
 }
 
 UsworCoordinator::UsworCoordinator(const UsworConfig& config,
-                                   sim::Network* network)
+                                   sim::Transport* transport)
     : config_(config),
       base_(config.ResolvedEpochBase()),
-      network_(network),
+      transport_(transport),
       smallest_(static_cast<size_t>(config.sample_size)) {
-  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(transport != nullptr);
 }
 
 void UsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
@@ -68,7 +68,7 @@ void UsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
   out.type = kUsworThreshold;
   out.x = tau_hat_;
   out.words = 2;
-  network_->Broadcast(out);
+  transport_->Broadcast(out);
 }
 
 std::vector<Item> UsworCoordinator::Sample() const {

@@ -42,7 +42,7 @@ struct UsworConfig {
 
 class UsworSite : public sim::SiteNode {
  public:
-  UsworSite(const UsworConfig& config, int site_index, sim::Network* network,
+  UsworSite(const UsworConfig& config, int site_index, sim::Transport* transport,
             uint64_t seed);
 
   void OnItem(const Item& item) override;
@@ -50,14 +50,14 @@ class UsworSite : public sim::SiteNode {
 
  private:
   int site_index_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   Rng rng_;
   double tau_hat_ = 1.0;  // announced filter; keys >= tau_hat are dropped
 };
 
 class UsworCoordinator : public sim::CoordinatorNode {
  public:
-  UsworCoordinator(const UsworConfig& config, sim::Network* network);
+  UsworCoordinator(const UsworConfig& config, sim::Transport* transport);
 
   void OnMessage(int site, const sim::Payload& msg) override;
 
@@ -69,7 +69,7 @@ class UsworCoordinator : public sim::CoordinatorNode {
  private:
   const UsworConfig config_;
   const double base_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   // Max-heap on (1 - key) == keep the s smallest keys: store key' = -key.
   TopKeyHeap<Item> smallest_;  // keyed by -u so the heap keeps min keys
   double tau_hat_ = 1.0;

@@ -18,9 +18,9 @@ double SlottedSwrConfig::ResolvedRoundBase() const {
 }
 
 SlottedSwrSite::SlottedSwrSite(const SlottedSwrConfig& config, int site_index,
-                               sim::Network* network, uint64_t seed)
-    : config_(config), site_index_(site_index), network_(network), rng_(seed) {
-  DWRS_CHECK(network != nullptr);
+                               sim::Transport* transport, uint64_t seed)
+    : config_(config), site_index_(site_index), transport_(transport), rng_(seed) {
+  DWRS_CHECK(transport != nullptr);
 }
 
 void SlottedSwrSite::OnItem(const Item& item) {
@@ -48,7 +48,7 @@ void SlottedSwrSite::OnItem(const Item& item) {
     msg.x = item.weight;
     msg.y = key;
     msg.words = 4;
-    network_->SendToCoordinator(site_index_, msg);
+    transport_->SendToCoordinator(site_index_, msg);
   }
 }
 
@@ -58,12 +58,12 @@ void SlottedSwrSite::OnMessage(const sim::Payload& msg) {
 }
 
 SlottedSwrCoordinator::SlottedSwrCoordinator(const SlottedSwrConfig& config,
-                                             sim::Network* network)
+                                             sim::Transport* transport)
     : config_(config),
       base_(config.ResolvedRoundBase()),
-      network_(network),
+      transport_(transport),
       races_(static_cast<size_t>(config.sample_size)) {
-  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(transport != nullptr);
 }
 
 void SlottedSwrCoordinator::MaybeAnnounce() {
@@ -84,7 +84,7 @@ void SlottedSwrCoordinator::MaybeAnnounce() {
   out.type = kSwrThreshold;
   out.x = tau_hat_;
   out.words = 2;
-  network_->Broadcast(out);
+  transport_->Broadcast(out);
 }
 
 void SlottedSwrCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {

@@ -44,7 +44,7 @@ struct SlottedSwrConfig {
 class SlottedSwrSite : public sim::SiteNode {
  public:
   SlottedSwrSite(const SlottedSwrConfig& config, int site_index,
-                 sim::Network* network, uint64_t seed);
+                 sim::Transport* transport, uint64_t seed);
 
   void OnItem(const Item& item) override;
   void OnMessage(const sim::Payload& msg) override;
@@ -52,14 +52,14 @@ class SlottedSwrSite : public sim::SiteNode {
  private:
   const SlottedSwrConfig config_;
   int site_index_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   Rng rng_;
   double tau_hat_ = 1.0;
 };
 
 class SlottedSwrCoordinator : public sim::CoordinatorNode {
  public:
-  SlottedSwrCoordinator(const SlottedSwrConfig& config, sim::Network* network);
+  SlottedSwrCoordinator(const SlottedSwrConfig& config, sim::Transport* transport);
 
   void OnMessage(int site, const sim::Payload& msg) override;
 
@@ -79,7 +79,7 @@ class SlottedSwrCoordinator : public sim::CoordinatorNode {
 
   const SlottedSwrConfig config_;
   const double base_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   std::vector<Race> races_;
   double tau_hat_ = 1.0;
 };

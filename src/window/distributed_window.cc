@@ -8,17 +8,17 @@
 namespace dwrs {
 
 WindowSite::WindowSite(const WindowConfig& config, int site_index,
-                       sim::Network* network, uint64_t seed)
+                       sim::Transport* transport, uint64_t seed)
     : config_(config),
       site_index_(site_index),
-      network_(network),
+      transport_(transport),
       rng_(seed),
       skyline_(config.sample_size, config.window) {
-  DWRS_CHECK(network != nullptr);
+  DWRS_CHECK(transport != nullptr);
 }
 
 void WindowSite::ForwardNewTopEntries() {
-  const uint64_t now = network_->step();
+  const uint64_t now = transport_->step();
   for (size_t idx : skyline_.TopIndices(now)) {
     const KeySkyline::Entry& e = skyline_.entries()[idx];
     if (forwarded_.contains(e.item.id)) continue;
@@ -31,7 +31,7 @@ void WindowSite::ForwardNewTopEntries() {
     msg.x = e.item.weight;
     msg.y = e.key;
     msg.words = 4;
-    network_->SendToCoordinator(site_index_, msg);
+    transport_->SendToCoordinator(site_index_, msg);
   }
   // Forget ids that can never be forwarded again (left the window) to
   // keep the set small.
@@ -46,7 +46,7 @@ void WindowSite::ForwardNewTopEntries() {
 
 void WindowSite::OnItem(const Item& item) {
   DWRS_CHECK_GT(item.weight, 0.0);
-  const uint64_t now = network_->step();
+  const uint64_t now = transport_->step();
   skyline_.ExpireUpTo(now);
   skyline_.Add(now, item, item.weight / Exponential(rng_));
   // Expiries can promote older entries into the local top-s, and the new
@@ -69,23 +69,23 @@ void WindowSite::OnMessage(const sim::Payload& msg) {
 }
 
 WindowCoordinator::WindowCoordinator(const WindowConfig& config,
-                                     sim::Network* network)
-    : network_(network), skyline_(config.sample_size, config.window) {
-  DWRS_CHECK(network != nullptr);
+                                     sim::Transport* transport)
+    : transport_(transport), skyline_(config.sample_size, config.window) {
+  DWRS_CHECK(transport != nullptr);
 }
 
 void WindowCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
   DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kWindowCandidate));
   const uint64_t arrival_step = msg.a >> 40;
   const uint64_t id = msg.a & ((1ull << 40) - 1);
-  skyline_.ExpireUpTo(network_->step());
+  skyline_.ExpireUpTo(transport_->step());
   // Insert at the item's ORIGINAL arrival step so its expiry is exact
   // even when it was promoted (and forwarded) later.
   skyline_.Add(arrival_step, Item{id, msg.x}, msg.y);
 }
 
 std::vector<KeyedItem> WindowCoordinator::Sample() const {
-  return skyline_.Sample(network_->step());
+  return skyline_.Sample(transport_->step());
 }
 
 DistributedWindowWswor::DistributedWindowWswor(const WindowConfig& config)

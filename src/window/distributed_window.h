@@ -41,7 +41,7 @@ struct WindowConfig {
 class WindowSite : public sim::SiteNode {
  public:
   WindowSite(const WindowConfig& config, int site_index,
-             sim::Network* network, uint64_t seed);
+             sim::Transport* transport, uint64_t seed);
 
   void OnItem(const Item& item) override;
   void OnMessage(const sim::Payload& msg) override;
@@ -56,7 +56,7 @@ class WindowSite : public sim::SiteNode {
 
   const WindowConfig config_;
   int site_index_;
-  sim::Network* network_;
+  sim::Transport* transport_;
   Rng rng_;
   KeySkyline skyline_;
   std::unordered_set<uint64_t> forwarded_;  // item ids already sent
@@ -64,7 +64,7 @@ class WindowSite : public sim::SiteNode {
 
 class WindowCoordinator : public sim::CoordinatorNode {
  public:
-  WindowCoordinator(const WindowConfig& config, sim::Network* network);
+  WindowCoordinator(const WindowConfig& config, sim::Transport* transport);
 
   void OnMessage(int site, const sim::Payload& msg) override;
 
@@ -74,7 +74,7 @@ class WindowCoordinator : public sim::CoordinatorNode {
   size_t SkylineSize() const { return skyline_.size(); }
 
  private:
-  sim::Network* network_;
+  sim::Transport* transport_;
   KeySkyline skyline_;
 };
 
