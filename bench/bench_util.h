@@ -6,6 +6,7 @@
 #ifndef DWRS_BENCH_BENCH_UTIL_H_
 #define DWRS_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
@@ -20,6 +21,45 @@
 
 namespace dwrs::bench {
 
+// JSON scalar encoding. %g alone would print "nan"/"inf" — not JSON —
+// so non-finite measurements (a failed run, a divide-by-zero rate)
+// become null rather than corrupting BENCH_*.json for downstream
+// tooling.
+inline std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+// JSON string encoding per RFC 8259: quotes and backslashes escaped, all
+// control characters (< 0x20) emitted as \n-style shorthands or \u00XX.
+inline std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
 // Collects rows of key/value fields and writes them as
 // BENCH_<name>.json:
 //   {"name": "...", "params": {...}, "rows": [{...}, {...}]}
@@ -31,11 +71,11 @@ class JsonBench {
   explicit JsonBench(std::string name) : name_(std::move(name)) {}
 
   JsonBench& Param(const std::string& key, double value) {
-    params_.emplace_back(key, Number(value));
+    params_.emplace_back(key, JsonNumber(value));
     return *this;
   }
   JsonBench& Param(const std::string& key, const std::string& value) {
-    params_.emplace_back(key, Quote(value));
+    params_.emplace_back(key, JsonQuote(value));
     return *this;
   }
 
@@ -44,7 +84,7 @@ class JsonBench {
     return *this;
   }
   JsonBench& Field(const std::string& key, double value) {
-    CurrentRow().emplace_back(key, Number(value));
+    CurrentRow().emplace_back(key, JsonNumber(value));
     return *this;
   }
   JsonBench& Field(const std::string& key, uint64_t value) {
@@ -52,7 +92,7 @@ class JsonBench {
     return *this;
   }
   JsonBench& Field(const std::string& key, const std::string& value) {
-    CurrentRow().emplace_back(key, Quote(value));
+    CurrentRow().emplace_back(key, JsonQuote(value));
     return *this;
   }
 
@@ -60,7 +100,7 @@ class JsonBench {
   std::string Write() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream out(path);
-    out << "{\"name\": " << Quote(name_) << ",\n \"params\": ";
+    out << "{\"name\": " << JsonQuote(name_) << ",\n \"params\": ";
     WriteObject(out, params_);
     out << ",\n \"rows\": [";
     for (size_t i = 0; i < rows_.size(); ++i) {
@@ -81,27 +121,11 @@ class JsonBench {
     return rows_.back();
   }
 
-  static std::string Number(double value) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.10g", value);
-    return buf;
-  }
-
-  static std::string Quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    out += '"';
-    return out;
-  }
-
   static void WriteObject(std::ofstream& out, const Fields& fields) {
     out << "{";
     for (size_t i = 0; i < fields.size(); ++i) {
       if (i != 0) out << ", ";
-      out << Quote(fields[i].first) << ": " << fields[i].second;
+      out << JsonQuote(fields[i].first) << ": " << fields[i].second;
     }
     out << "}";
   }

@@ -72,6 +72,25 @@ void WsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
   }
 }
 
+std::vector<sim::Payload> WsworCoordinator::ResyncMessages() const {
+  std::vector<sim::Payload> out;
+  if (announced_epoch_ >= 0) {
+    sim::Payload msg;
+    msg.type = kWsworUpdateEpoch;
+    msg.x = PowInt(base_, announced_epoch_);
+    msg.words = 2;
+    out.push_back(msg);
+  }
+  for (int level : levels_.SaturatedLevels()) {
+    sim::Payload note;
+    note.type = kWsworLevelSaturated;
+    note.a = static_cast<uint64_t>(level);
+    note.words = 2;
+    out.push_back(note);
+  }
+  return out;
+}
+
 std::vector<KeyedItem> WsworCoordinator::Sample() const {
   std::vector<KeyedItem> merged;
   merged.reserve(sample_.size() + levels_.StoredEntries());

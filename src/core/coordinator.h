@@ -56,6 +56,14 @@ class WsworCoordinator : public sim::CoordinatorNode {
   uint64_t early_received() const { return early_received_; }
   uint64_t regular_received() const { return regular_received_; }
 
+  // The protocol messages that rebuild a crashed-and-restarted site's
+  // filter state from coordinator state: the current epoch threshold (if
+  // announced) plus one saturation notice per saturated level. All are
+  // monotone/idempotent, so replaying them is safe under loss,
+  // duplication, and reordering — the resync path of the fault model
+  // (src/faults/session.h).
+  std::vector<sim::Payload> ResyncMessages() const;
+
   const LevelSetManager& levels() const { return levels_; }
 
  private:

@@ -65,6 +65,14 @@ std::vector<KeyedItem> LevelSetManager::WithheldEntries() const {
   return out;
 }
 
+std::vector<int> LevelSetManager::SaturatedLevels() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < saturated_.size(); ++i) {
+    if (saturated_[i] != 0) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
 uint64_t LevelSetManager::CountInLevel(int level) const {
   DWRS_CHECK_GE(level, 0);
   if (static_cast<size_t>(level) >= counts_.size()) return 0;

@@ -43,6 +43,10 @@ class LevelSetManager {
   uint64_t CountInLevel(int level) const;
   uint64_t capacity() const { return capacity_; }
 
+  // Every level currently saturated, ascending — the state a restarted
+  // site needs replayed to rebuild its withholding filter.
+  std::vector<int> SaturatedLevels() const;
+
   // Space audit: number of stored (item, key) entries; Proposition 6
   // promises this stays <= s.
   size_t StoredEntries() const { return heap_.size(); }

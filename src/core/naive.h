@@ -27,6 +27,12 @@ enum NaiveMessageType : uint32_t {
 
 class NaiveWsworSite : public sim::SiteNode {
  public:
+  // Excluded from the fault harness (src/faults/): the site's local top-s
+  // filter cannot be rebuilt from coordinator state after a crash — a
+  // restarted naive site would re-forward already-sampled items under
+  // fresh keys, silently corrupting the sample.
+  static constexpr bool kRequiresReliableTransport = true;
+
   NaiveWsworSite(int sample_size, int site_index, sim::Transport* transport,
                  uint64_t seed);
 

@@ -14,6 +14,8 @@
 //   swor estimators           — subset sums from the coordinator sample
 //   engine::Engine            — concurrent execution backend (threaded
 //                               sites, batched ingestion; src/engine/)
+//   faults::FaultyRun         — deterministic fault injection + crash/
+//                               loss-tolerant session layer (src/faults/)
 
 #ifndef DWRS_DWRS_H_
 #define DWRS_DWRS_H_
@@ -22,6 +24,7 @@
 #include "engine/engine.h"
 #include "core/sampler.h"
 #include "estimators/swor_estimators.h"
+#include "faults/harness.h"
 #include "hh/exact_hh.h"
 #include "hh/misra_gries.h"
 #include "hh/residual_hh.h"

@@ -1,0 +1,72 @@
+#include "faults/fault_schedule.h"
+
+#include "util/check.h"
+
+namespace dwrs::faults {
+namespace {
+
+// SplitMix64 finalizer over a combined coordinate; each fault kind mixes
+// in its own salt so the drop/duplicate/delay/crash decisions at one
+// coordinate are independent.
+uint64_t Mix(uint64_t seed, uint64_t salt, uint64_t hi, uint64_t lo) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (salt + 1);
+  z ^= hi + 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z ^= lo + 0x94D049BB133111EBull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z = (z ^ (z >> 31)) * 0xD6E8FEB86659FD93ull;
+  return z ^ (z >> 32);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double ToUnit(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kDropSalt = 1;
+constexpr uint64_t kDupSalt = 2;
+constexpr uint64_t kDelaySalt = 3;
+constexpr uint64_t kDelayAmountSalt = 4;
+constexpr uint64_t kCrashSalt = 5;
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(const FaultConfig& config) : config_(config) {
+  DWRS_CHECK(config.drop_prob >= 0.0 && config.drop_prob <= 1.0);
+  DWRS_CHECK(config.duplicate_prob >= 0.0 && config.duplicate_prob <= 1.0);
+  DWRS_CHECK(config.delay_prob >= 0.0 && config.delay_prob <= 1.0);
+  DWRS_CHECK(config.crash_prob >= 0.0 && config.crash_prob <= 1.0);
+  if (config.delay_prob > 0.0) DWRS_CHECK_GE(config.max_delay, 1);
+  if (config.crash_prob > 0.0) DWRS_CHECK_GE(config.crash_down_items, 1);
+}
+
+SendFaults FaultSchedule::OnSend(uint32_t channel, uint64_t index) const {
+  SendFaults out;
+  if (config_.drop_prob > 0.0 &&
+      ToUnit(Mix(config_.seed, kDropSalt, channel, index)) <
+          config_.drop_prob) {
+    out.drop = true;
+    return out;
+  }
+  if (config_.duplicate_prob > 0.0 &&
+      ToUnit(Mix(config_.seed, kDupSalt, channel, index)) <
+          config_.duplicate_prob) {
+    out.duplicate = true;
+  }
+  if (config_.delay_prob > 0.0 &&
+      ToUnit(Mix(config_.seed, kDelaySalt, channel, index)) <
+          config_.delay_prob) {
+    out.delay = 1 + static_cast<int>(
+                        Mix(config_.seed, kDelayAmountSalt, channel, index) %
+                        static_cast<uint64_t>(config_.max_delay));
+  }
+  return out;
+}
+
+bool FaultSchedule::CrashesAt(int site, uint64_t item_index) const {
+  if (config_.crash_prob <= 0.0) return false;
+  return ToUnit(Mix(config_.seed, kCrashSalt, static_cast<uint64_t>(site),
+                    item_index)) < config_.crash_prob;
+}
+
+}  // namespace dwrs::faults

@@ -1,0 +1,107 @@
+#include "faults/faulty_transport.h"
+
+#include "util/check.h"
+
+namespace dwrs::faults {
+
+FaultyTransport::FaultyTransport(sim::Transport* inner,
+                                 const FaultSchedule* schedule, int num_sites)
+    : inner_(inner),
+      schedule_(schedule),
+      num_sites_(num_sites),
+      channels_(2 * static_cast<size_t>(num_sites)) {
+  DWRS_CHECK(inner != nullptr);
+  DWRS_CHECK(schedule != nullptr);
+  DWRS_CHECK_GT(num_sites, 0);
+}
+
+void FaultyTransport::Forward(int site, bool upstream,
+                              const sim::Payload& msg) {
+  counters_.forwarded.fetch_add(1, std::memory_order_relaxed);
+  if (upstream) {
+    inner_->SendToCoordinator(site, msg);
+  } else {
+    inner_->SendToSite(site, msg);
+  }
+}
+
+void FaultyTransport::ReleaseDue(ChannelState& state, int site,
+                                 bool upstream) {
+  size_t kept = 0;
+  for (size_t i = 0; i < state.held.size(); ++i) {
+    if (state.held[i].first < state.next_index) {
+      Forward(site, upstream, state.held[i].second);
+    } else {
+      if (kept != i) state.held[kept] = std::move(state.held[i]);
+      ++kept;
+    }
+  }
+  state.held.resize(kept);
+}
+
+void FaultyTransport::Send(uint32_t channel, int site, bool upstream,
+                           const sim::Payload& msg) {
+  ChannelState& state = channels_[channel];
+  const uint64_t index = state.next_index++;
+  const bool gated = upstream ? schedule_->config().fault_upstream
+                              : schedule_->config().fault_downstream;
+  SendFaults faults;
+  if (enabled() && gated) faults = schedule_->OnSend(channel, index);
+
+  if (faults.drop) {
+    counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (faults.delay > 0) {
+      counters_.delayed.fetch_add(1, std::memory_order_relaxed);
+      state.held.emplace_back(index + static_cast<uint64_t>(faults.delay),
+                              msg);
+    } else {
+      Forward(site, upstream, msg);
+    }
+    if (faults.duplicate) {
+      counters_.duplicated.fetch_add(1, std::memory_order_relaxed);
+      Forward(site, upstream, msg);
+    }
+  }
+  ReleaseDue(state, site, upstream);
+}
+
+void FaultyTransport::SendToCoordinator(int site, const sim::Payload& msg) {
+  DWRS_CHECK(site >= 0 && site < num_sites_);
+  Send(static_cast<uint32_t>(site), site, /*upstream=*/true, msg);
+}
+
+void FaultyTransport::SendToSite(int site, const sim::Payload& msg) {
+  DWRS_CHECK(site >= 0 && site < num_sites_);
+  Send(static_cast<uint32_t>(num_sites_ + site), site, /*upstream=*/false,
+       msg);
+}
+
+void FaultyTransport::Broadcast(const sim::Payload& msg) {
+  // No atomic broadcast under the fault model: each site's copy is an
+  // independent down-channel send with its own fault verdict.
+  for (int site = 0; site < num_sites_; ++site) SendToSite(site, msg);
+}
+
+void FaultyTransport::FlushDelayed() {
+  // Down-channels strictly before up-channels: the caller holds a
+  // quiesced engine, so the coordinator thread is parked until the first
+  // released upstream message reaches its inbox — after which it may
+  // immediately send acks that touch down-channel state. Releasing the
+  // down side first keeps this feeder-thread sweep free of that race.
+  const size_t k = static_cast<size_t>(num_sites_);
+  auto release_all = [this](size_t c) {
+    ChannelState& state = channels_[c];
+    const bool upstream = c < static_cast<size_t>(num_sites_);
+    const int site =
+        static_cast<int>(upstream ? c : c - static_cast<size_t>(num_sites_));
+    for (auto& [release_at, payload] : state.held) {
+      Forward(site, upstream, payload);
+    }
+    state.held.clear();
+  };
+  for (size_t c = k; c < 2 * k; ++c) release_all(c);
+  for (size_t c = 0; c < k; ++c) release_all(c);
+}
+
+}  // namespace dwrs::faults

@@ -1,0 +1,89 @@
+// FaultyTransport — a sim::Transport decorator that subjects every send
+// to a deterministic FaultSchedule before forwarding it to the inner
+// transport (sim::Network or engine::Engine). Drop, duplicate, and
+// bounded delay/reorder are applied per channel; broadcasts are
+// decomposed into per-site sends so each copy is faulted independently
+// (the broadcast_events counter of the inner transport therefore stays
+// at zero under faults — the fault model has no atomic broadcast).
+//
+// Threading: each channel's state is touched only by the thread that
+// legitimately sends on it (site i's worker for up-channel i, the
+// coordinator thread for every down-channel), mirroring the engine's
+// send discipline, so per-channel state needs no locking. Aggregate
+// counters are relaxed atomics. FlushDelayed() and set_enabled() must
+// only be called at quiesce points (between Deliver calls on the
+// simulator; after Engine::Flush on the engine).
+
+#ifndef DWRS_FAULTS_FAULTY_TRANSPORT_H_
+#define DWRS_FAULTS_FAULTY_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_schedule.h"
+#include "sim/message.h"
+#include "sim/node.h"
+
+namespace dwrs::faults {
+
+struct FaultCounters {
+  std::atomic<uint64_t> forwarded{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> duplicated{0};
+  std::atomic<uint64_t> delayed{0};
+};
+
+class FaultyTransport : public sim::Transport {
+ public:
+  FaultyTransport(sim::Transport* inner, const FaultSchedule* schedule,
+                  int num_sites);
+
+  FaultyTransport(const FaultyTransport&) = delete;
+  FaultyTransport& operator=(const FaultyTransport&) = delete;
+
+  // --- sim::Transport --------------------------------------------------
+  void SendToCoordinator(int site, const sim::Payload& msg) override;
+  void SendToSite(int site, const sim::Payload& msg) override;
+  void Broadcast(const sim::Payload& msg) override;
+  uint64_t step() const override { return inner_->step(); }
+
+  // Releases every withheld (delayed) message into the inner transport,
+  // in per-channel order, down-channels first (see the release-order
+  // note in the .cc). Quiesce points only.
+  void FlushDelayed();
+
+  // The network "heals": with enabled(false) every send passes through
+  // unfaulted. Used by the end-of-stream reconcile round (the standard
+  // partial-synchrony assumption that faults eventually quiesce).
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  struct ChannelState {
+    uint64_t next_index = 0;
+    // (release once next_index exceeds .first, payload); insertion order.
+    std::vector<std::pair<uint64_t, sim::Payload>> held;
+  };
+
+  // channel ids: 0..k-1 up, k..2k-1 down (matching sim::Network).
+  void Send(uint32_t channel, int site, bool upstream, const sim::Payload& msg);
+  void Forward(int site, bool upstream, const sim::Payload& msg);
+  void ReleaseDue(ChannelState& state, int site, bool upstream);
+
+  sim::Transport* const inner_;
+  const FaultSchedule* const schedule_;
+  const int num_sites_;
+  std::atomic<bool> enabled_{true};
+  std::vector<ChannelState> channels_;  // 2k entries
+  FaultCounters counters_;
+};
+
+}  // namespace dwrs::faults
+
+#endif  // DWRS_FAULTS_FAULTY_TRANSPORT_H_

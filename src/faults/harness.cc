@@ -1,0 +1,30 @@
+#include "faults/harness.h"
+
+namespace dwrs::faults {
+
+std::vector<uint64_t> SurvivingItemIds(const Workload& workload,
+                                       const FaultSchedule& schedule) {
+  const size_t k = static_cast<size_t>(workload.num_sites());
+  std::vector<uint64_t> arrivals(k, 0);
+  std::vector<uint64_t> down_remaining(k, 0);
+  std::vector<uint64_t> surviving;
+  const uint64_t down_for =
+      static_cast<uint64_t>(schedule.config().crash_down_items);
+  for (uint64_t i = 0; i < workload.size(); ++i) {
+    const WorkloadEvent& event = workload.event(i);
+    const size_t site = static_cast<size_t>(event.site);
+    const uint64_t index = arrivals[site]++;
+    if (down_remaining[site] == 0 &&
+        schedule.CrashesAt(event.site, index)) {
+      down_remaining[site] = down_for;
+    }
+    if (down_remaining[site] > 0) {
+      --down_remaining[site];
+      continue;  // lost at a crashed site
+    }
+    surviving.push_back(event.item.id);
+  }
+  return surviving;
+}
+
+}  // namespace dwrs::faults

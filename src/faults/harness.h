@@ -1,0 +1,324 @@
+// Fault harness: assembles a full protocol stack — endpoints wrapped in
+// reliability sessions, over a FaultyTransport, over either execution
+// backend — runs a workload through it, and reconciles at end of stream.
+//
+//   faults::FaultyRun<faults::WsworFaultTraits> run(config, fault_config,
+//                                                   faults::Backend::kSim);
+//   run.Run(workload);              // stream + end-of-stream reconcile
+//   run.report().clean              // no irrecoverable loss anywhere
+//   run.coordinator().Sample();     // exact SWOR of the delivered stream
+//
+// The reconcile models partial synchrony: after the stream ends the
+// network heals (faults disabled), withheld messages are released, and
+// sites retransmit until every stamped message is acked. A run is
+// `clean` iff nothing was irrecoverably lost — every un-clean cause
+// (messages wiped by a crash) is individually counted, so degraded
+// results are always detectable, never silent.
+//
+// Determinism: given (protocol seed, fault seed, workload), two runs on
+// the same backend are bit-identical, and the simulator and the
+// step-synchronous engine produce the same delivery transcript.
+
+#ifndef DWRS_FAULTS_HARNESS_H_
+#define DWRS_FAULTS_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/coordinator.h"
+#include "core/site.h"
+#include "engine/engine.h"
+#include "faults/fault_schedule.h"
+#include "faults/faulty_transport.h"
+#include "faults/session.h"
+#include "l1/l1_tracker.h"
+#include "random/rng.h"
+#include "sim/runtime.h"
+#include "stream/workload.h"
+#include "unweighted/distributed_swor.h"
+#include "util/check.h"
+
+namespace dwrs::faults {
+
+enum class Backend { kSim, kEngine };
+
+// Independent randomness per site incarnation: a restarted site must not
+// replay its previous key stream.
+inline uint64_t RestartSeed(uint64_t base, uint32_t epoch) {
+  if (epoch == 0) return base;
+  uint64_t z = base + 0x9E3779B97F4A7C15ull * epoch;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Aggregated outcome of a faulty run.
+struct RunReport {
+  uint64_t transcript_hash = 0;
+  uint64_t delivered = 0;
+  uint64_t crashes = 0;
+  uint64_t crash_detections = 0;
+  uint64_t resyncs_sent = 0;
+  uint64_t lost_unacked = 0;  // wiped by crashes; upper-bounds real loss
+  uint64_t items_lost = 0;    // arrivals at down sites
+  uint64_t duplicates_dropped = 0;
+  uint64_t gaps_detected = 0;
+  uint64_t nacks_sent = 0;
+  // True iff every stamped message was delivered exactly once: no buffer
+  // was wiped mid-flight and reconcile drained everything. A clean run's
+  // sample is an exact SWOR over the items processed by live sites.
+  bool clean = false;
+};
+
+// --- per-protocol traits ----------------------------------------------
+
+struct WsworFaultTraits {
+  using Config = WsworConfig;
+  using Coordinator = WsworCoordinator;
+  static int NumSites(const Config& config) { return config.num_sites; }
+  static uint64_t Seed(const Config& config) { return config.seed; }
+  static std::unique_ptr<sim::SiteNode> MakeSite(const Config& config,
+                                                 int site,
+                                                 sim::Transport* transport,
+                                                 uint64_t seed) {
+    return std::make_unique<WsworSite>(config, site, transport, seed);
+  }
+  static std::unique_ptr<Coordinator> MakeCoordinator(
+      const Config& config, sim::Transport* transport, Rng& master) {
+    return std::make_unique<Coordinator>(config, transport, master.NextU64());
+  }
+  static std::vector<sim::Payload> Resync(const Coordinator& coordinator) {
+    return coordinator.ResyncMessages();
+  }
+  static std::vector<uint64_t> SampleIds(const Coordinator& coordinator) {
+    std::vector<uint64_t> ids;
+    for (const KeyedItem& ki : coordinator.Sample()) ids.push_back(ki.item.id);
+    return ids;
+  }
+};
+
+struct UsworFaultTraits {
+  using Config = UsworConfig;
+  using Coordinator = UsworCoordinator;
+  static int NumSites(const Config& config) { return config.num_sites; }
+  static uint64_t Seed(const Config& config) { return config.seed; }
+  static std::unique_ptr<sim::SiteNode> MakeSite(const Config& config,
+                                                 int site,
+                                                 sim::Transport* transport,
+                                                 uint64_t seed) {
+    return std::make_unique<UsworSite>(config, site, transport, seed);
+  }
+  static std::unique_ptr<Coordinator> MakeCoordinator(
+      const Config& config, sim::Transport* transport, Rng& /*master*/) {
+    return std::make_unique<Coordinator>(config, transport);
+  }
+  static std::vector<sim::Payload> Resync(const Coordinator& coordinator) {
+    return coordinator.ResyncMessages();
+  }
+  static std::vector<uint64_t> SampleIds(const Coordinator& coordinator) {
+    std::vector<uint64_t> ids;
+    for (const Item& item : coordinator.Sample()) ids.push_back(item.id);
+    return ids;
+  }
+};
+
+struct L1FaultTraits {
+  using Config = L1TrackerConfig;
+  using Coordinator = WsworCoordinator;
+  static int NumSites(const Config& config) { return config.num_sites; }
+  static uint64_t Seed(const Config& config) { return config.seed; }
+  static std::unique_ptr<sim::SiteNode> MakeSite(const Config& config,
+                                                 int site,
+                                                 sim::Transport* transport,
+                                                 uint64_t seed) {
+    return std::make_unique<L1Site>(config, site, transport, seed);
+  }
+  static std::unique_ptr<Coordinator> MakeCoordinator(
+      const Config& config, sim::Transport* transport, Rng& master) {
+    // Same mapping L1Tracker itself uses; its delivery_delay field is a
+    // property of the reliable simulated network and is superseded here
+    // by the FaultConfig's delay schedule.
+    return std::make_unique<Coordinator>(L1CoordinatorConfig(config),
+                                         transport, master.NextU64());
+  }
+  static std::vector<sim::Payload> Resync(const Coordinator& coordinator) {
+    return coordinator.ResyncMessages();
+  }
+  static std::vector<uint64_t> SampleIds(const Coordinator& coordinator) {
+    return WsworFaultTraits::SampleIds(coordinator);
+  }
+};
+
+// --- the harness ------------------------------------------------------
+
+template <typename Traits>
+class FaultyRun {
+ public:
+  using Config = typename Traits::Config;
+  using Coordinator = typename Traits::Coordinator;
+
+  FaultyRun(const Config& config, const FaultConfig& fault_config,
+            Backend backend)
+      : schedule_(fault_config), num_sites_(Traits::NumSites(config)) {
+    if (backend == Backend::kSim) {
+      runtime_ = std::make_unique<sim::Runtime>(num_sites_);
+    } else {
+      engine::EngineConfig engine_config;
+      engine_config.num_sites = num_sites_;
+      engine_config.step_synchronous = true;
+      engine_ = std::make_unique<engine::Engine>(engine_config);
+    }
+    sim::Transport* inner =
+        engine_ ? &engine_->transport()
+                : static_cast<sim::Transport*>(&runtime_->network());
+    faulty_ = std::make_unique<FaultyTransport>(inner, &schedule_, num_sites_);
+
+    // Seed derivation mirrors the reliable facades exactly: one master
+    // draw per site in index order, then the coordinator's.
+    Rng master(Traits::Seed(config));
+    std::vector<uint64_t> site_seeds;
+    site_seeds.reserve(static_cast<size_t>(num_sites_));
+    for (int i = 0; i < num_sites_; ++i) site_seeds.push_back(master.NextU64());
+    coordinator_ = Traits::MakeCoordinator(config, faulty_.get(), master);
+    coordinator_session_ = std::make_unique<CoordinatorSession>(
+        num_sites_, coordinator_.get(), faulty_.get(),
+        [this] { return Traits::Resync(*coordinator_); });
+
+    for (int i = 0; i < num_sites_; ++i) {
+      site_sessions_.push_back(std::make_unique<SiteSession>(
+          i, faulty_.get(), &schedule_,
+          [config, i, seed = site_seeds[static_cast<size_t>(i)]](
+              sim::Transport* upper, uint32_t epoch) {
+            return Traits::MakeSite(config, i, upper,
+                                    RestartSeed(seed, epoch));
+          }));
+      if (runtime_) {
+        runtime_->AttachSite(i, site_sessions_.back().get());
+      } else {
+        engine_->AttachSite(i, site_sessions_.back().get());
+      }
+    }
+    if (runtime_) {
+      runtime_->AttachCoordinator(coordinator_session_.get());
+    } else {
+      engine_->AttachCoordinator(coordinator_session_.get());
+    }
+  }
+
+  ~FaultyRun() {
+    // The engine joins its worker threads before any endpoint or the
+    // transport stack is destroyed (see the teardown contract in
+    // engine/engine.h).
+    if (engine_) engine_->Shutdown();
+  }
+
+  FaultyRun(const FaultyRun&) = delete;
+  FaultyRun& operator=(const FaultyRun&) = delete;
+
+  // Streams the workload and reconciles. Querying the coordinator is
+  // legal afterwards.
+  void Run(const Workload& workload) {
+    if (runtime_) {
+      runtime_->Run(workload);
+    } else {
+      engine_->Run(workload);
+    }
+    Reconcile();
+  }
+
+  // End-of-stream reconcile under a healed network: release withheld
+  // messages, retransmit every unacked message, repeat until drained.
+  void Reconcile() {
+    faulty_->set_enabled(false);
+    for (int round = 0; round < kMaxReconcileRounds; ++round) {
+      faulty_->FlushDelayed();
+      FlushBackend();
+      bool drained = true;
+      for (const auto& session : site_sessions_) {
+        if (session->unacked_size() != 0) drained = false;
+      }
+      if (drained) break;
+      for (const auto& session : site_sessions_) {
+        session->RetransmitAllUnacked();
+      }
+      FlushBackend();
+    }
+    for (const auto& session : site_sessions_) {
+      DWRS_CHECK_EQ(session->unacked_size(), 0u)
+          << " reconcile failed to drain site retransmit buffers";
+    }
+  }
+
+  RunReport report() const {
+    RunReport out;
+    out.transcript_hash = coordinator_session_->transcript_hash();
+    out.delivered = coordinator_session_->delivered();
+    out.crash_detections = coordinator_session_->crash_detections();
+    out.resyncs_sent = coordinator_session_->resyncs_sent();
+    out.duplicates_dropped = coordinator_session_->duplicates_dropped();
+    out.gaps_detected = coordinator_session_->gaps_detected();
+    out.nacks_sent = coordinator_session_->nacks_sent();
+    for (const auto& session : site_sessions_) {
+      out.crashes += session->crashes();
+      out.lost_unacked += session->lost_unacked();
+      out.items_lost += session->items_lost();
+    }
+    out.clean =
+        out.lost_unacked == 0 && coordinator_session_->AllGapsResolved();
+    return out;
+  }
+
+  std::vector<uint64_t> SampleIds() const {
+    return Traits::SampleIds(*coordinator_);
+  }
+
+  const Coordinator& coordinator() const { return *coordinator_; }
+  const CoordinatorSession& coordinator_session() const {
+    return *coordinator_session_;
+  }
+  const SiteSession& site_session(int site) const {
+    return *site_sessions_[static_cast<size_t>(site)];
+  }
+  const FaultyTransport& faulty_transport() const { return *faulty_; }
+  int num_sites() const { return num_sites_; }
+
+ private:
+  static constexpr int kMaxReconcileRounds = 8;
+
+  void FlushBackend() {
+    if (runtime_) {
+      runtime_->Flush();
+    } else {
+      engine_->Flush();
+    }
+  }
+
+  FaultSchedule schedule_;
+  const int num_sites_;
+  std::unique_ptr<sim::Runtime> runtime_;    // exactly one backend is set
+  std::unique_ptr<engine::Engine> engine_;
+  std::unique_ptr<FaultyTransport> faulty_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<CoordinatorSession> coordinator_session_;
+  std::vector<std::unique_ptr<SiteSession>> site_sessions_;
+};
+
+using FaultyWswor = FaultyRun<WsworFaultTraits>;
+using FaultyUswor = FaultyRun<UsworFaultTraits>;
+using FaultyL1 = FaultyRun<L1FaultTraits>;
+
+// The deterministic set of item ids that reach a live site under
+// `schedule` (everything except arrivals inside crash-down windows),
+// replaying exactly the SiteSession crash logic. Fault-seed- and
+// workload-determined only — independent of the protocol seed, which is
+// what makes the surviving set a valid chi-square reference across
+// protocol-seed trials.
+std::vector<uint64_t> SurvivingItemIds(const Workload& workload,
+                                       const FaultSchedule& schedule);
+
+}  // namespace dwrs::faults
+
+#endif  // DWRS_FAULTS_HARNESS_H_

@@ -1,0 +1,246 @@
+#include "faults/session.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace dwrs::faults {
+
+// ---------------------------------------------------------------------
+// SiteSession
+
+SiteSession::SiteSession(int site, sim::Transport* lower,
+                         const FaultSchedule* schedule,
+                         EndpointFactory factory)
+    : site_(site),
+      lower_(lower),
+      schedule_(schedule),
+      factory_(std::move(factory)) {
+  DWRS_CHECK(lower != nullptr);
+  DWRS_CHECK(schedule != nullptr);
+  DWRS_CHECK(factory_ != nullptr);
+  endpoint_ = factory_(this, /*epoch=*/0);
+  DWRS_CHECK(endpoint_ != nullptr);
+}
+
+void SiteSession::OnItem(const Item& item) {
+  const uint64_t index = items_seen_++;
+  if (!down_ && schedule_->CrashesAt(site_, index)) Crash();
+  if (down_) {
+    ++items_lost_;
+    if (--down_remaining_ == 0) Restart();
+    return;
+  }
+  if (retransmit_pending_) {
+    // Deferred go-back-N replay (see the field comment): runs at the
+    // site's own step, before the new item, so the coordinator can fill
+    // the gap and then take the new message in order.
+    retransmit_pending_ = false;
+    for (const sim::Payload& m : unacked_) {
+      if (m.seq >= retransmit_from_) lower_->SendToCoordinator(site_, m);
+    }
+  }
+  endpoint_->OnItem(item);
+}
+
+void SiteSession::OnMessage(const sim::Payload& msg) {
+  if (down_) {
+    // The process is dead; anything addressed to it is lost on the floor.
+    ++messages_dropped_down_;
+    return;
+  }
+  switch (msg.type) {
+    case kSessionAck: {
+      if (msg.epoch != epoch_) return;  // ack for a previous incarnation
+      while (!unacked_.empty() && unacked_.front().seq <= msg.a) {
+        unacked_.pop_front();
+      }
+      return;
+    }
+    case kSessionNack: {
+      if (msg.epoch != epoch_) return;
+      // Request go-back-N replay from the lowest seq any nack asked for;
+      // performed at the next OnItem (see OnItem).
+      if (!retransmit_pending_ ||
+          msg.a < static_cast<uint64_t>(retransmit_from_)) {
+        retransmit_from_ = static_cast<uint32_t>(msg.a);
+      }
+      retransmit_pending_ = true;
+      return;
+    }
+    default:
+      endpoint_->OnMessage(msg);
+  }
+}
+
+void SiteSession::SendToCoordinator(int site, const sim::Payload& msg) {
+  DWRS_CHECK_EQ(site, site_);
+  DWRS_CHECK(!down_);
+  // seq 0 means "unstamped" on the wire, so wrapping within one epoch
+  // would silently break dedup; fail loudly instead (2^32 messages from
+  // one site without a crash is outside the design envelope).
+  DWRS_CHECK_NE(next_seq_, 0u) << " per-epoch sequence space exhausted";
+  sim::Payload stamped = msg;
+  stamped.seq = next_seq_++;
+  stamped.epoch = epoch_;
+  unacked_.push_back(stamped);
+  lower_->SendToCoordinator(site_, stamped);
+}
+
+void SiteSession::SendToSite(int /*site*/, const sim::Payload& /*msg*/) {
+  DWRS_CHECK(false) << " site endpoints never send downstream";
+}
+
+void SiteSession::Broadcast(const sim::Payload& /*msg*/) {
+  DWRS_CHECK(false) << " site endpoints never broadcast";
+}
+
+void SiteSession::RetransmitAllUnacked() {
+  if (down_) return;
+  retransmit_pending_ = false;
+  for (const sim::Payload& m : unacked_) {
+    lower_->SendToCoordinator(site_, m);
+  }
+}
+
+void SiteSession::Crash() {
+  ++crashes_;
+  down_ = true;
+  down_remaining_ =
+      static_cast<uint64_t>(schedule_->config().crash_down_items);
+  // Volatile state dies with the process: the endpoint, and with it any
+  // sent-but-unacked messages — those are irrecoverable and counted, so
+  // a degraded sample is always detectable, never silent.
+  lost_unacked_ += unacked_.size();
+  unacked_.clear();
+  retransmit_pending_ = false;
+  endpoint_.reset();
+}
+
+void SiteSession::Restart() {
+  down_ = false;
+  ++epoch_;
+  next_seq_ = 1;
+  endpoint_ = factory_(this, epoch_);
+  DWRS_CHECK(endpoint_ != nullptr);
+  // The hello is the first stamped message of the new epoch, so it is
+  // covered by the same dedup/gap/retransmit machinery as everything
+  // else; if it is dropped, the next message's higher epoch announces the
+  // restart implicitly and go-back-N recovers the hello itself.
+  sim::Payload hello;
+  hello.type = kSessionHello;
+  hello.words = 2;
+  SendToCoordinator(site_, hello);
+}
+
+// ---------------------------------------------------------------------
+// CoordinatorSession
+
+CoordinatorSession::CoordinatorSession(int num_sites,
+                                       sim::CoordinatorNode* inner,
+                                       sim::Transport* lower,
+                                       ResyncProvider resync)
+    : inner_(inner),
+      lower_(lower),
+      resync_(std::move(resync)),
+      peers_(static_cast<size_t>(num_sites)) {
+  DWRS_CHECK(inner != nullptr);
+  DWRS_CHECK(lower != nullptr);
+  DWRS_CHECK_GT(num_sites, 0);
+}
+
+void CoordinatorSession::SendAck(int site, const PeerState& peer) {
+  sim::Payload ack;
+  ack.type = kSessionAck;
+  ack.a = peer.expected_seq - 1;
+  ack.epoch = peer.epoch;
+  ack.words = 2;
+  lower_->SendToSite(site, ack);
+}
+
+void CoordinatorSession::FoldTranscript(int site, const sim::Payload& msg) {
+  auto fold = [this](uint64_t v) {
+    transcript_hash_ ^= v;
+    transcript_hash_ *= 1099511628211ull;  // FNV prime
+  };
+  fold(static_cast<uint64_t>(site));
+  fold(msg.type);
+  fold(msg.a);
+  fold(msg.seq);
+  fold(msg.epoch);
+  fold(std::bit_cast<uint64_t>(msg.x));
+  fold(std::bit_cast<uint64_t>(msg.y));
+}
+
+void CoordinatorSession::OnMessage(int site, const sim::Payload& msg) {
+  DWRS_CHECK(site >= 0 && static_cast<size_t>(site) < peers_.size());
+  DWRS_CHECK_GT(msg.seq, 0u) << " unstamped message on a faulty transport";
+  PeerState& peer = peers_[static_cast<size_t>(site)];
+
+  if (msg.epoch < peer.epoch) {
+    // In-flight leftover from before the site's crash.
+    ++stale_epoch_dropped_;
+    return;
+  }
+  if (msg.epoch > peer.epoch) {
+    // Restart detected — via the hello, or implicitly via any later
+    // message if the hello was lost. Rebuild the peer slot and replay the
+    // coordinator's filter state so the reborn site stops over-sending.
+    peer.epoch = msg.epoch;
+    peer.expected_seq = 1;
+    peer.max_seen_seq = 0;
+    peer.last_nacked_expected = 0;
+    ++crash_detections_;
+    if (resync_) {
+      for (sim::Payload m : resync_()) {
+        m.epoch = peer.epoch;
+        lower_->SendToSite(site, m);
+        ++resyncs_sent_;
+      }
+    }
+  }
+
+  if (msg.seq > peer.max_seen_seq) peer.max_seen_seq = msg.seq;
+
+  if (msg.seq < peer.expected_seq) {
+    // Duplicate (network duplication or go-back-N overshoot). Re-ack so a
+    // site retransmitting into a lost-ack window can still clear its
+    // buffer.
+    ++duplicates_dropped_;
+    SendAck(site, peer);
+    return;
+  }
+  if (msg.seq > peer.expected_seq) {
+    // Gap: something before this message is missing. Nack once per
+    // missing position; the end-of-stream reconcile covers nacks that
+    // are themselves lost.
+    ++gaps_detected_;
+    if (peer.last_nacked_expected != peer.expected_seq) {
+      peer.last_nacked_expected = peer.expected_seq;
+      sim::Payload nack;
+      nack.type = kSessionNack;
+      nack.a = peer.expected_seq;
+      nack.epoch = peer.epoch;
+      nack.words = 2;
+      lower_->SendToSite(site, nack);
+      ++nacks_sent_;
+    }
+    return;
+  }
+
+  // In order: deliver exactly once.
+  ++peer.expected_seq;
+  FoldTranscript(site, msg);
+  ++delivered_;
+  if (msg.type != kSessionHello) inner_->OnMessage(site, msg);
+  SendAck(site, peer);
+}
+
+bool CoordinatorSession::AllGapsResolved() const {
+  for (const PeerState& peer : peers_) {
+    if (peer.max_seen_seq >= peer.expected_seq) return false;
+  }
+  return true;
+}
+
+}  // namespace dwrs::faults

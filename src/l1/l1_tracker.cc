@@ -61,9 +61,7 @@ void L1Site::OnMessage(const sim::Payload& msg) {
   if (msg.x > threshold_) threshold_ = msg.x;
 }
 
-namespace {
-
-WsworConfig MakeCoordinatorConfig(const L1TrackerConfig& config) {
+WsworConfig L1CoordinatorConfig(const L1TrackerConfig& config) {
   WsworConfig out;
   out.num_sites = config.num_sites;
   out.sample_size = config.SampleSize();
@@ -72,8 +70,6 @@ WsworConfig MakeCoordinatorConfig(const L1TrackerConfig& config) {
   out.delivery_delay = config.delivery_delay;
   return out;
 }
-
-}  // namespace
 
 L1Tracker::L1Tracker(const L1TrackerConfig& config)
     : config_(config), runtime_(config.num_sites, config.delivery_delay) {
@@ -84,7 +80,7 @@ L1Tracker::L1Tracker(const L1TrackerConfig& config)
     runtime_.AttachSite(i, sites_.back().get());
   }
   coordinator_ = std::make_unique<WsworCoordinator>(
-      MakeCoordinatorConfig(config_), &runtime_.network(), master.NextU64());
+      L1CoordinatorConfig(config_), &runtime_.network(), master.NextU64());
   runtime_.AttachCoordinator(coordinator_.get());
 }
 
@@ -101,10 +97,13 @@ void L1Tracker::Run(const Workload& workload,
 }
 
 double L1Tracker::Estimate() const {
-  const double u = coordinator_->Threshold();
+  return L1EstimateFromThreshold(config_, coordinator_->Threshold());
+}
+
+double L1EstimateFromThreshold(const L1TrackerConfig& config, double u) {
   if (u <= 0.0) return 0.0;
-  return static_cast<double>(config_.SampleSize()) * u /
-         static_cast<double>(config_.Duplication());
+  return static_cast<double>(config.SampleSize()) * u /
+         static_cast<double>(config.Duplication());
 }
 
 double Theorem6MessageBound(int num_sites, double eps, double delta,

@@ -84,6 +84,16 @@ class L1Tracker {
   std::unique_ptr<WsworCoordinator> coordinator_;
 };
 
+// W-hat = s * u / ell given the coordinator's s-th largest key u (0 while
+// u == 0). Shared by L1Tracker::Estimate and the fault harness, which
+// runs the L1 site/coordinator stack over a faulty transport.
+double L1EstimateFromThreshold(const L1TrackerConfig& config, double u);
+
+// The weighted-SWOR coordinator configuration the L1 reduction runs on
+// (withholding off — duplication replaces level sets, Section 5). The
+// single source of truth for L1Tracker and the fault harness.
+WsworConfig L1CoordinatorConfig(const L1TrackerConfig& config);
+
 // This work's Theorem 6 bound (up to constants):
 // (k/log k + log(1/delta)/eps^2) * log(eps*W).
 double Theorem6MessageBound(int num_sites, double eps, double delta,

@@ -7,6 +7,8 @@ namespace {
 
 constexpr uint8_t kHasX = 1;
 constexpr uint8_t kHasY = 2;
+constexpr uint8_t kHasSeq = 4;
+constexpr uint8_t kHasEpoch = 8;
 
 void PutDouble(std::vector<uint8_t>* out, double v) {
   uint64_t bits;
@@ -61,7 +63,11 @@ std::vector<uint8_t> EncodePayload(const Payload& msg) {
   uint8_t flags = 0;
   if (msg.x != 0.0) flags |= kHasX;
   if (msg.y != 0.0) flags |= kHasY;
+  if (msg.seq != 0) flags |= kHasSeq;
+  if (msg.epoch != 0) flags |= kHasEpoch;
   out.push_back(flags);
+  if (flags & kHasSeq) PutVarint(&out, msg.seq);
+  if (flags & kHasEpoch) PutVarint(&out, msg.epoch);
   if (flags & kHasX) PutDouble(&out, msg.x);
   if (flags & kHasY) PutDouble(&out, msg.y);
   return out;
@@ -78,7 +84,17 @@ std::optional<Payload> DecodePayload(const std::vector<uint8_t>& bytes) {
   msg.a = *a;
   if (pos >= bytes.size()) return std::nullopt;
   const uint8_t flags = bytes[pos++];
-  if (flags & ~(kHasX | kHasY)) return std::nullopt;
+  if (flags & ~(kHasX | kHasY | kHasSeq | kHasEpoch)) return std::nullopt;
+  if (flags & kHasSeq) {
+    const auto seq = GetVarint(bytes, &pos);
+    if (!seq || *seq == 0 || *seq > UINT32_MAX) return std::nullopt;
+    msg.seq = static_cast<uint32_t>(*seq);
+  }
+  if (flags & kHasEpoch) {
+    const auto epoch = GetVarint(bytes, &pos);
+    if (!epoch || *epoch == 0 || *epoch > UINT32_MAX) return std::nullopt;
+    msg.epoch = static_cast<uint32_t>(*epoch);
+  }
   if (flags & kHasX) {
     const auto x = GetDouble(bytes, &pos);
     if (!x) return std::nullopt;

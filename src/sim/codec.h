@@ -25,9 +25,12 @@ std::optional<uint64_t> GetVarint(const std::vector<uint8_t>& in,
                                   size_t* pos);
 
 // Serializes a payload:
-//   varint type | varint a | flags byte | [8B x] [8B y]
-// where the flags byte records which of the double fields are nonzero
-// (most protocol messages carry at most one real value).
+//   varint type | varint a | flags byte | [varint seq] [varint epoch]
+//   | [8B x] [8B y]
+// where the flags byte records which of the optional fields are nonzero
+// (most protocol messages carry at most one real value, and the seq/epoch
+// reliability header only exists under the fault model). Bits:
+//   1 = x present, 2 = y present, 4 = seq present, 8 = epoch present.
 std::vector<uint8_t> EncodePayload(const Payload& msg);
 
 // Inverse of EncodePayload; nullopt on malformed input. The `words`

@@ -20,6 +20,16 @@ struct Payload {
   double x = 0.0;      // typically: weight or threshold
   double y = 0.0;      // typically: key
   uint32_t words = 2;  // accounted size in machine words
+
+  // Reliability header, stamped by the session layer (src/faults/session.h)
+  // when a protocol runs over an unreliable transport; zero on a reliable
+  // network. `seq` is per-site monotone within an epoch (first message has
+  // seq 1; 0 means unstamped); `epoch` increments each time the sending
+  // site crashes and restarts. Not counted in `words`: the paper's
+  // accounting measures protocol payload, and the header rides along only
+  // under the fault model.
+  uint32_t seq = 0;
+  uint32_t epoch = 0;
 };
 
 // Aggregate traffic counters. A broadcast is accounted as k coordinator->

@@ -71,6 +71,18 @@ void UsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
   transport_->Broadcast(out);
 }
 
+std::vector<sim::Payload> UsworCoordinator::ResyncMessages() const {
+  std::vector<sim::Payload> out;
+  if (tau_hat_ < 1.0) {
+    sim::Payload msg;
+    msg.type = kUsworThreshold;
+    msg.x = tau_hat_;
+    msg.words = 2;
+    out.push_back(msg);
+  }
+  return out;
+}
+
 std::vector<Item> UsworCoordinator::Sample() const {
   std::vector<Item> out;
   for (const auto& e : smallest_.SortedDescending()) out.push_back(e.value);

@@ -66,6 +66,10 @@ class UsworCoordinator : public sim::CoordinatorNode {
 
   double announced_tau() const { return tau_hat_; }
 
+  // Resync state for a restarted site: the current threshold (if any was
+  // announced). Monotone (thresholds only shrink), so safe to replay.
+  std::vector<sim::Payload> ResyncMessages() const;
+
  private:
   const UsworConfig config_;
   const double base_;

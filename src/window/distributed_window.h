@@ -40,6 +40,12 @@ struct WindowConfig {
 
 class WindowSite : public sim::SiteNode {
  public:
+  // Excluded from the fault harness (src/faults/): the window protocol's
+  // site state (skyline + forwarded-id set keyed to the round clock) is
+  // not reconstructible from coordinator state, and its OnRound ticker
+  // only exists on the synchronous backend.
+  static constexpr bool kRequiresReliableTransport = true;
+
   WindowSite(const WindowConfig& config, int site_index,
              sim::Transport* transport, uint64_t seed);
 

@@ -1,8 +1,11 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "core/config.h"
+#include "faults/session.h"
 #include "random/rng.h"
 #include "sim/codec.h"
+#include "unweighted/distributed_swor.h"
 
 namespace dwrs {
 namespace {
@@ -88,6 +91,132 @@ TEST(CodecTest, EncodedSizeWithinWordAccounting) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Golden wire-format values: one pinned byte sequence per protocol
+// message shape (including the session layer's seq/epoch reliability
+// header). A failure here means the wire format silently drifted —
+// update the goldens only for a deliberate, versioned format change.
+
+void ExpectGolden(const Payload& msg, const std::vector<uint8_t>& golden) {
+  EXPECT_EQ(EncodePayload(msg), golden);
+  const auto decoded = DecodePayload(golden);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, msg.type);
+  EXPECT_EQ(decoded->a, msg.a);
+  EXPECT_EQ(decoded->seq, msg.seq);
+  EXPECT_EQ(decoded->epoch, msg.epoch);
+  EXPECT_DOUBLE_EQ(decoded->x, msg.x);
+  EXPECT_DOUBLE_EQ(decoded->y, msg.y);
+}
+
+TEST(CodecGoldenTest, WsworEarly) {
+  Payload msg;
+  msg.type = kWsworEarly;
+  msg.a = 7;     // item id
+  msg.x = 3.0;   // weight
+  ExpectGolden(msg, {0x01, 0x07, 0x01,  // type, a, flags: x only
+                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x08, 0x40});
+}
+
+TEST(CodecGoldenTest, WsworRegular) {
+  Payload msg;
+  msg.type = kWsworRegular;
+  msg.a = 300;
+  msg.x = 2.5;  // weight
+  msg.y = 1.5;  // key
+  ExpectGolden(msg, {0x02, 0xAC, 0x02, 0x03,  // type, varint a, flags: x|y
+                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x40,
+                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F});
+}
+
+TEST(CodecGoldenTest, WsworLevelSaturated) {
+  Payload msg;
+  msg.type = kWsworLevelSaturated;
+  msg.a = 5;  // level index
+  ExpectGolden(msg, {0x03, 0x05, 0x00});
+}
+
+TEST(CodecGoldenTest, WsworUpdateEpoch) {
+  Payload msg;
+  msg.type = kWsworUpdateEpoch;
+  msg.x = 8.0;  // threshold r^j
+  ExpectGolden(msg, {0x04, 0x00, 0x01,
+                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x20, 0x40});
+}
+
+TEST(CodecGoldenTest, UsworCandidateWithReliabilityHeader) {
+  // An unweighted candidate as stamped by the session layer: every
+  // optional field present, exercising the full flags byte.
+  Payload msg;
+  msg.type = kUsworCandidate;
+  msg.a = 9;
+  msg.x = 1.0;   // weight (carried for interface parity)
+  msg.y = 0.25;  // uniform key
+  msg.seq = 130;
+  msg.epoch = 2;
+  ExpectGolden(msg, {0x01, 0x09, 0x0F,        // flags: x|y|seq|epoch
+                     0x82, 0x01,              // varint seq 130
+                     0x02,                    // varint epoch 2
+                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,
+                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD0, 0x3F});
+}
+
+TEST(CodecGoldenTest, UsworThreshold) {
+  Payload msg;
+  msg.type = kUsworThreshold;
+  msg.x = 0.25;  // tau-hat
+  ExpectGolden(msg, {0x02, 0x00, 0x01,
+                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD0, 0x3F});
+}
+
+TEST(CodecGoldenTest, SessionAck) {
+  Payload msg;
+  msg.type = faults::kSessionAck;
+  msg.a = 41;  // cumulative seq
+  msg.epoch = 3;
+  ExpectGolden(msg, {0x18, 0x29, 0x08, 0x03});
+}
+
+TEST(CodecGoldenTest, SessionNack) {
+  Payload msg;
+  msg.type = faults::kSessionNack;
+  msg.a = 2;  // retransmit-from seq
+  msg.epoch = 1;
+  ExpectGolden(msg, {0x19, 0x02, 0x08, 0x01});
+}
+
+TEST(CodecGoldenTest, SessionHello) {
+  // First stamped message of a restarted site's epoch.
+  Payload msg;
+  msg.type = faults::kSessionHello;
+  msg.seq = 1;
+  msg.epoch = 1;
+  ExpectGolden(msg, {0x1A, 0x00, 0x0C, 0x01, 0x01});
+}
+
+TEST(CodecTest, UnstampedEncodingIsUnchangedByHeaderFields) {
+  // A zero seq/epoch (reliable network) must cost zero wire bytes — the
+  // pre-fault-model encoding, byte for byte.
+  Payload msg;
+  msg.type = 3;
+  msg.a = 123456789;
+  msg.x = 2.5;
+  const auto bytes = EncodePayload(msg);
+  Payload stamped = msg;
+  stamped.seq = 6;
+  stamped.epoch = 1;
+  EXPECT_GT(EncodePayload(stamped).size(), bytes.size());
+  EXPECT_EQ(sim::EncodedSize(msg), bytes.size());
+}
+
+TEST(CodecTest, RejectsZeroedHeaderFieldsWithFlagsSet) {
+  // flags claim a seq/epoch but encode 0 — non-canonical, rejected.
+  EXPECT_FALSE(DecodePayload({0x01, 0x02, 0x04, 0x00}).has_value());
+  EXPECT_FALSE(DecodePayload({0x01, 0x02, 0x08, 0x00}).has_value());
+  // Truncated seq varint.
+  EXPECT_FALSE(DecodePayload({0x01, 0x02, 0x04}).has_value());
+}
+
 TEST(CodecTest, RejectsMalformedInputs) {
   EXPECT_FALSE(DecodePayload({}).has_value());
   EXPECT_FALSE(DecodePayload({0x01}).has_value());           // missing a
@@ -112,10 +241,17 @@ TEST(CodecTest, FuzzRoundTrip) {
     msg.a = rng.NextU64() >> static_cast<int>(rng.NextBounded(64));
     msg.x = rng.NextBit() ? rng.NextDouble() * 1e9 : 0.0;
     msg.y = rng.NextBit() ? rng.NextDouble() : 0.0;
+    msg.seq = rng.NextBit()
+                  ? static_cast<uint32_t>(1 + rng.NextBounded(UINT32_MAX))
+                  : 0;
+    msg.epoch =
+        rng.NextBit() ? static_cast<uint32_t>(1 + rng.NextBounded(1000)) : 0;
     const auto decoded = DecodePayload(EncodePayload(msg));
     ASSERT_TRUE(decoded.has_value());
     EXPECT_EQ(decoded->type, msg.type);
     EXPECT_EQ(decoded->a, msg.a);
+    EXPECT_EQ(decoded->seq, msg.seq);
+    EXPECT_EQ(decoded->epoch, msg.epoch);
     EXPECT_DOUBLE_EQ(decoded->x, msg.x);
     EXPECT_DOUBLE_EQ(decoded->y, msg.y);
   }

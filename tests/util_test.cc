@@ -1,6 +1,12 @@
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
 
 #include "gtest/gtest.h"
+#include "bench_util.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -110,6 +116,65 @@ TEST(MessageBoundTest, NaiveDominatesTheorem3) {
       EXPECT_GT(NaiveMessageBound(k, 16, w), Theorem3MessageBound(k, 16, w));
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Bench JSON emission (bench/bench_util.h): the BENCH_*.json files are
+// parsed by downstream tooling, so non-finite numbers and unescaped
+// strings are silent corruption.
+
+TEST(JsonNumberTest, FiniteValuesUseCompactDecimal) {
+  EXPECT_EQ(bench::JsonNumber(0.0), "0");
+  EXPECT_EQ(bench::JsonNumber(2.5), "2.5");
+  EXPECT_EQ(bench::JsonNumber(-1e-9), "-1e-09");
+  EXPECT_EQ(bench::JsonNumber(1234567890.0), "1234567890");
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(bench::JsonNumber(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(bench::JsonNumber(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(bench::JsonNumber(-std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(JsonQuoteTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(bench::JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(bench::JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(bench::JsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(bench::JsonQuote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(bench::JsonQuote("line\nbreak\r"), "\"line\\nbreak\\r\"");
+  EXPECT_EQ(bench::JsonQuote(std::string("nul\x01") + "\x1f"),
+            "\"nul\\u0001\\u001f\"");
+  // Non-ASCII bytes pass through untouched (UTF-8 is legal in JSON).
+  EXPECT_EQ(bench::JsonQuote("\xC3\xA9"), "\"\xC3\xA9\"");
+}
+
+TEST(JsonBenchTest, WriteEmitsWellFormedJsonUnderHostileValues) {
+  bench::JsonBench out("util_test_hostile");
+  out.Param("workload", "zipf \"skewed\"\n")
+      .Param("alpha", std::numeric_limits<double>::infinity());
+  out.StartRow()
+      .Field("backend", "sim\\runtime")
+      .Field("items_per_sec", std::numeric_limits<double>::quiet_NaN())
+      .Field("messages", uint64_t{42});
+  const std::string path = out.Write();
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"alpha\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"items_per_sec\": null"), std::string::npos);
+  EXPECT_NE(json.find("zipf \\\"skewed\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("sim\\\\runtime"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  // No raw control characters anywhere in the emitted file.
+  for (char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n') << (int)c;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
