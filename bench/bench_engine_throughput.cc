@@ -27,6 +27,12 @@ struct BackendResult {
   double seconds = 0.0;
   double items_per_sec = 0.0;
   uint64_t messages = 0;
+  // Site hot-path counters (engine rows; the sim facade reports the same
+  // totals through DistributedWswor::KeysDecided for cross-checking).
+  uint64_t keys_decided = 0;
+  uint64_t key_bits = 0;
+  uint64_t skips_taken = 0;
+  uint64_t batches_recycled = 0;
 };
 
 double Now() {
@@ -41,9 +47,13 @@ BackendResult RunSim(const Workload& w, int k, int s, uint64_t seed) {
   const double t0 = Now();
   sampler.Run(w);
   const double t1 = Now();
-  return BackendResult{t1 - t0,
-                       static_cast<double>(w.size()) / (t1 - t0),
-                       sampler.stats().total_messages()};
+  BackendResult result;
+  result.seconds = t1 - t0;
+  result.items_per_sec = static_cast<double>(w.size()) / (t1 - t0);
+  result.messages = sampler.stats().total_messages();
+  result.keys_decided = sampler.KeysDecided();
+  result.key_bits = sampler.KeyBitsConsumed();
+  return result;
 }
 
 BackendResult RunEngine(const Workload& w, int k, int s, uint64_t seed,
@@ -63,9 +73,14 @@ BackendResult RunEngine(const Workload& w, int k, int s, uint64_t seed,
   const double t0 = Now();
   eng.Run(w);
   const double t1 = Now();
-  BackendResult result{t1 - t0,
-                       static_cast<double>(w.size()) / (t1 - t0),
-                       eng.stats().total_messages()};
+  BackendResult result;
+  result.seconds = t1 - t0;
+  result.items_per_sec = static_cast<double>(w.size()) / (t1 - t0);
+  result.messages = eng.stats().total_messages();
+  result.keys_decided = eng.stats().keys_decided.load();
+  result.key_bits = eng.stats().key_bits_consumed.load();
+  result.skips_taken = eng.stats().skips_taken.load();
+  result.batches_recycled = eng.stats().batches_recycled.load();
   eng.Shutdown();
   return result;
 }
@@ -82,11 +97,15 @@ void Report(bench::JsonBench& json, const std::string& workload,
       .Field("k", static_cast<uint64_t>(k))
       .Field("batch_size", static_cast<uint64_t>(batch))
       .Field("items_per_sec", r.items_per_sec)
-      .Field("messages", r.messages);
+      .Field("messages", r.messages)
+      .Field("keys_decided", r.keys_decided)
+      .Field("key_bits_consumed", r.key_bits)
+      .Field("skips_taken", r.skips_taken)
+      .Field("batches_recycled", r.batches_recycled);
 }
 
-int Main() {
-  const uint64_t n = 400'000;
+int Main(bool quick) {
+  const uint64_t n = quick ? 60'000 : 400'000;
   const int s = 32;
   const size_t batch = 1024;
 
@@ -97,7 +116,8 @@ int Main() {
   bench::JsonBench json("engine_throughput");
   json.Param("items", static_cast<double>(n))
       .Param("sample_size", static_cast<double>(s))
-      .Param("weights", "zipf(alpha=1.1)");
+      .Param("weights", "zipf(alpha=1.1)")
+      .Param("quick", quick ? 1.0 : 0.0);
 
   for (int k : {2, 4, 8, 16}) {
     const Workload w = bench::ZipfWorkload(k, n, /*seed=*/7 + k);
@@ -139,4 +159,6 @@ int Main() {
 }  // namespace
 }  // namespace dwrs
 
-int main() { return dwrs::Main(); }
+int main(int argc, char** argv) {
+  return dwrs::Main(dwrs::bench::QuickMode(argc, argv));
+}

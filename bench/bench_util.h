@@ -135,6 +135,17 @@ class JsonBench {
   std::vector<Fields> rows_;
 };
 
+// True when the bench was invoked with --quick: CI mode, where every
+// bench shrinks its workload to finish in seconds while still emitting
+// its full BENCH_<name>.json row schema (so the perf trajectory is
+// recorded on every push without slowing the pipeline).
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") return true;
+  }
+  return false;
+}
+
 inline void Header(const char* experiment, const char* claim) {
   std::printf("==============================================================="
               "=========\n");

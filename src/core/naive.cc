@@ -1,6 +1,7 @@
 #include "core/naive.h"
 
-#include "random/distributions.h"
+#include <limits>
+
 #include "util/check.h"
 
 namespace dwrs {
@@ -14,17 +15,31 @@ NaiveWsworSite::NaiveWsworSite(int sample_size, int site_index,
   DWRS_CHECK(transport != nullptr);
 }
 
-void NaiveWsworSite::OnItem(const Item& item) {
-  DWRS_CHECK_GT(item.weight, 0.0);
-  const double key = item.weight / Exponential(rng_);
-  if (!local_top_.Offer(key, item)) return;
-  sim::Payload msg;
-  msg.type = kNaiveCandidate;
-  msg.a = item.id;
-  msg.x = item.weight;
-  msg.y = key;
-  msg.words = 4;
-  transport_->SendToCoordinator(site_index_, msg);
+void NaiveWsworSite::OnItem(const Item& item) { OnItems(&item, 1); }
+
+void NaiveWsworSite::OnItems(const Item* items, size_t n) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const Item& item = items[i];
+    DWRS_CHECK_GT(item.weight, 0.0);
+    // The item enters the local top-s iff its key w/t beats the heap
+    // minimum, i.e. t < w/min — decided by geometric-skip thinning so
+    // losing items (the steady state once the heap is warm) consume no
+    // randomness. The joint law of (entered, key | entered) is identical
+    // to drawing the key for every item.
+    const double bound =
+        local_top_.full() ? item.weight / local_top_.MinKey() : kInf;
+    if (!filter_.Admit(rng_, bound)) continue;
+    const double key = item.weight / filter_.value();
+    if (!local_top_.Offer(key, item)) continue;  // fp tie at the minimum
+    sim::Payload msg;
+    msg.type = kNaiveCandidate;
+    msg.a = item.id;
+    msg.x = item.weight;
+    msg.y = key;
+    msg.words = 4;
+    transport_->SendToCoordinator(site_index_, msg);
+  }
 }
 
 void NaiveWsworSite::OnMessage(const sim::Payload& msg) {

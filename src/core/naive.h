@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "random/geometric_skip.h"
 #include "random/rng.h"
 #include "sampling/keyed_item.h"
 #include "sampling/top_key_heap.h"
@@ -37,12 +38,18 @@ class NaiveWsworSite : public sim::SiteNode {
                  uint64_t seed);
 
   void OnItem(const Item& item) override;
+  void OnItems(const Item* items, size_t n) override;
   void OnMessage(const sim::Payload& msg) override;
+  sim::SiteHotPathCounters HotPathCounters() const override {
+    return {filter_.decisions(), filter_.bits_consumed(),
+            filter_.skips_taken()};
+  }
 
  private:
   int site_index_;
   sim::Transport* transport_;
   Rng rng_;
+  GeometricSkipFilter filter_;
   TopKeyHeap<Item> local_top_;
 };
 

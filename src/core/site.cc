@@ -1,10 +1,9 @@
 #include "core/site.h"
 
+#include <cmath>
 #include <limits>
 
-#include "random/lazy_exponential.h"
 #include "util/check.h"
-#include "util/math_util.h"
 
 namespace dwrs {
 
@@ -13,49 +12,57 @@ WsworSite::WsworSite(const WsworConfig& config, int site_index,
     : config_(config),
       site_index_(site_index),
       level_base_(config.ResolvedEpochBase()),
+      level_of_(level_base_),
       transport_(transport),
       rng_(seed) {
   DWRS_CHECK(transport != nullptr);
   DWRS_CHECK(site_index >= 0 && site_index < config.num_sites);
 }
 
-int WsworSite::LevelOf(double weight) const {
-  return FloorLogBase(weight, level_base_);
-}
+void WsworSite::OnItem(const Item& item) { OnItems(&item, 1); }
 
-void WsworSite::OnItem(const Item& item) {
-  DWRS_CHECK_GT(item.weight, 0.0);
-  if (config_.withhold_heavy) {
-    const int level = LevelOf(item.weight);
-    const bool saturated =
-        static_cast<size_t>(level) < saturated_.size() &&
-        saturated_[static_cast<size_t>(level)] != 0;
-    if (!saturated) {
-      sim::Payload msg;
-      msg.type = kWsworEarly;
-      msg.a = item.id;
-      msg.x = item.weight;
-      msg.words = 3;
-      transport_->SendToCoordinator(site_index_, msg);
-      return;
+void WsworSite::OnItems(const Item* items, size_t n) {
+  // Everything loop-invariant is hoisted: endpoint state only changes via
+  // OnMessage, which the backends never interleave inside one span.
+  const bool withhold = config_.withhold_heavy;
+  const uint8_t* saturated = saturated_.data();
+  const size_t num_levels = saturated_.size();
+  const double threshold = threshold_;
+  const double inv_threshold = threshold > 0.0 ? 1.0 / threshold : 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const Item& item = items[i];
+    DWRS_CHECK_GT(item.weight, 0.0);
+    if (withhold) {
+      const size_t level = static_cast<size_t>(level_of_(item.weight));
+      if (level >= num_levels || saturated[level] == 0) {
+        sim::Payload msg;
+        msg.type = kWsworEarly;
+        msg.a = item.id;
+        msg.x = item.weight;
+        msg.words = 3;
+        transport_->SendToCoordinator(site_index_, msg);
+        continue;
+      }
     }
+    // Regular path: the key v = w/t (t ~ Exp(1)) beats the threshold iff
+    // t < w/u, i.e. with hazard w/u under the skip filter. With u = 0
+    // every key qualifies. Rejected items cost a subtract and a compare —
+    // no RNG work at all (the geometric-skip fast path).
+    const double hazard =
+        threshold > 0.0 ? item.weight * inv_threshold : kInf;
+    if (!filter_.Admit(rng_, hazard)) continue;
+    double key = item.weight / filter_.value();
+    // Floating point guard: the decision and the key must agree.
+    if (key <= threshold) key = std::nextafter(threshold, kInf);
+    sim::Payload msg;
+    msg.type = kWsworRegular;
+    msg.a = item.id;
+    msg.x = item.weight;
+    msg.y = key;
+    msg.words = 4;
+    transport_->SendToCoordinator(site_index_, msg);
   }
-  // Regular path: lazily decide whether v = w/t beats the threshold, i.e.
-  // whether t < w / u. With u = 0 every key qualifies.
-  const double bound = threshold_ > 0.0
-                           ? item.weight / threshold_
-                           : std::numeric_limits<double>::infinity();
-  const LazyExpDecision decision = DecideExponentialBelow(rng_, bound);
-  ++keys_decided_;
-  key_bits_consumed_ += static_cast<uint64_t>(decision.bits_consumed);
-  if (!decision.below_bound) return;
-  sim::Payload msg;
-  msg.type = kWsworRegular;
-  msg.a = item.id;
-  msg.x = item.weight;
-  msg.y = item.weight / decision.value;
-  msg.words = 4;
-  transport_->SendToCoordinator(site_index_, msg);
 }
 
 void WsworSite::OnMessage(const sim::Payload& msg) {

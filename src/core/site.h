@@ -4,8 +4,15 @@
 //   1. computes the item's level; if the level is not yet saturated (and
 //      withholding is enabled) it forwards the item as an "early" message
 //      without generating a key;
-//   2. otherwise draws the key v = w / Exp(1) lazily (Proposition 7) and
-//      forwards (e, w, v) only when v exceeds the current epoch threshold.
+//   2. otherwise decides whether the key v = w / Exp(1) beats the current
+//      epoch threshold via exact geometric-skip thinning (one amortized
+//      RNG draw per *forwarded* item — the batch-era sharpening of
+//      Proposition 7's O(1)-bits-per-decision claim; see
+//      random/geometric_skip.h) and forwards (e, w, v) only on a win.
+//
+// Ingestion is span-based: OnItems is the real implementation (all
+// loop-invariant state hoisted) and OnItem is the degenerate n = 1 span,
+// so the two paths are transcript-identical by construction.
 
 #ifndef DWRS_CORE_SITE_H_
 #define DWRS_CORE_SITE_H_
@@ -14,9 +21,11 @@
 #include <vector>
 
 #include "core/config.h"
+#include "random/geometric_skip.h"
 #include "random/rng.h"
 #include "sim/node.h"
 #include "stream/item.h"
+#include "util/math_util.h"
 
 namespace dwrs {
 
@@ -26,26 +35,29 @@ class WsworSite : public sim::SiteNode {
             uint64_t seed);
 
   void OnItem(const Item& item) override;
+  void OnItems(const Item* items, size_t n) override;
   void OnMessage(const sim::Payload& msg) override;
+  sim::SiteHotPathCounters HotPathCounters() const override {
+    return {keys_decided(), key_bits_consumed(), skips_taken()};
+  }
 
   double threshold() const { return threshold_; }
 
   // Proposition 7 instrumentation.
-  uint64_t keys_decided() const { return keys_decided_; }
-  uint64_t key_bits_consumed() const { return key_bits_consumed_; }
+  uint64_t keys_decided() const { return filter_.decisions(); }
+  uint64_t key_bits_consumed() const { return filter_.bits_consumed(); }
+  uint64_t skips_taken() const { return filter_.skips_taken(); }
 
  private:
-  int LevelOf(double weight) const;
-
   const WsworConfig config_;
   const int site_index_;
   const double level_base_;
+  const LevelIndexer level_of_;
   sim::Transport* transport_;
   Rng rng_;
+  GeometricSkipFilter filter_;
   double threshold_ = 0.0;           // u_i, the announced epoch threshold
   std::vector<uint8_t> saturated_;   // per-level flags
-  uint64_t keys_decided_ = 0;
-  uint64_t key_bits_consumed_ = 0;
 };
 
 }  // namespace dwrs

@@ -108,7 +108,11 @@ class Channel {
       if (stall_counter != nullptr) {
         stall_counter->fetch_add(1, std::memory_order_relaxed);
       }
+      // Counted under the mutex and wait() releases it atomically, so a
+      // parked producer is always visible to TryPop's waiter check below.
+      ++waiters_;
       not_full_.wait(lock);
+      --waiters_;
     }
     if (closed_) return false;
     queue_.push_back(std::move(v));
@@ -122,7 +126,12 @@ class Channel {
     *out = std::move(queue_.front());
     queue_.pop_front();
     size_.fetch_sub(1, std::memory_order_relaxed);
-    if (capacity_ != 0) not_full_.notify_one();
+    // Producers only park while the channel is full, so on the vastly
+    // common uncontended pop there is nobody to wake and the
+    // (syscall-prone) notify is skipped entirely. The explicit waiter
+    // count — maintained under this same mutex — makes the skip exact:
+    // notify_all whenever anyone waits, never otherwise.
+    if (waiters_ > 0) not_full_.notify_all();
     return true;
   }
 
@@ -142,6 +151,7 @@ class Channel {
   std::deque<T> queue_;
   std::atomic<size_t> size_{0};
   const size_t capacity_;
+  size_t waiters_ = 0;  // producers parked in Push (guarded by mutex_)
   bool closed_ = false;
 };
 

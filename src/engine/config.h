@@ -26,6 +26,13 @@ struct EngineConfig {
   // queue and eventually the feeder — backpressure propagates end to end.
   size_t message_queue_capacity = 1 << 14;
 
+  // Site workers hand queued batches to the endpoint's OnItems span path
+  // in sub-batches of this many items, polling the control channel once
+  // per sub-batch (instead of per item) so fresh thresholds still land
+  // promptly while the hot loop stays free of synchronization. Smaller
+  // values tighten control latency; larger values maximize span length.
+  size_t control_poll_stride = 64;
+
   // When true, Run() quiesces the whole engine after every event before
   // invoking the per-step hook. The execution is then bit-identical to
   // sim::Runtime with zero delivery delay (same endpoint callbacks in the

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -14,6 +15,7 @@ Engine::Engine(const EngineConfig& config)
   DWRS_CHECK_GT(config.batch_size, 0u);
   DWRS_CHECK_GT(config.item_queue_batches, 0u);
   DWRS_CHECK_GT(config.message_queue_capacity, 0u);
+  DWRS_CHECK_GT(config.control_poll_stride, 0u);
   for (auto& batch : pending_) batch.reserve(config_.batch_size);
 }
 
@@ -41,7 +43,8 @@ void Engine::Start() {
   for (size_t i = 0; i < site_nodes_.size(); ++i) {
     DWRS_CHECK(site_nodes_[i] != nullptr) << " site " << i << " not attached";
     site_workers_.push_back(std::make_unique<SiteWorker>(
-        site_nodes_[i], config_.item_queue_batches, &bus_));
+        site_nodes_[i], config_.item_queue_batches,
+        config_.control_poll_stride, &bus_, &stats_));
   }
   coordinator_worker_->Start();
   for (auto& worker : site_workers_) worker->Start();
@@ -57,6 +60,32 @@ void Engine::Push(int site, const Item& item) {
   if (batch.size() >= config_.batch_size) HandOffBatch(site);
 }
 
+void Engine::Push(int site, const Item* items, size_t n) {
+  DWRS_CHECK(site >= 0 && site < config_.num_sites);
+  DWRS_CHECK(!shut_down_) << " engine already shut down";
+  if (!started_) Start();
+  ItemBatch& batch = pending_[static_cast<size_t>(site)];
+  while (n > 0) {
+    const size_t take = std::min(n, config_.batch_size - batch.size());
+    batch.insert(batch.end(), items, items + take);
+    items += take;
+    n -= take;
+    if (batch.size() >= config_.batch_size) HandOffBatch(site);
+  }
+}
+
+void Engine::RefillPending(int site) {
+  // Pull a recycled buffer off the site worker's free list; allocate only
+  // on a cold start (the pool warms to item_queue_batches buffers and
+  // then cycles them indefinitely: zero steady-state heap traffic).
+  ItemBatch& batch = pending_[static_cast<size_t>(site)];
+  if (!site_workers_[static_cast<size_t>(site)]->TryGetRecycled(&batch)) {
+    batch = ItemBatch();
+    stats_.batch_pool_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  batch.reserve(config_.batch_size);
+}
+
 void Engine::HandOffBatch(int site) {
   ItemBatch& batch = pending_[static_cast<size_t>(site)];
   if (batch.empty()) return;
@@ -67,8 +96,7 @@ void Engine::HandOffBatch(int site) {
   stats_.items_ingested.fetch_add(n, std::memory_order_relaxed);
   stats_.batches_ingested.fetch_add(1, std::memory_order_relaxed);
   ItemBatch handoff = std::move(batch);
-  batch = ItemBatch();
-  batch.reserve(config_.batch_size);
+  RefillPending(site);
   site_workers_[static_cast<size_t>(site)]->PushBatch(std::move(handoff),
                                                       &stats_.ingest_stalls);
 }
@@ -101,11 +129,26 @@ void Engine::WaitQuiesce() {
   stats_.quiesces.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Engine::CollectSiteCounters() {
+  // Legal only at quiesce points (workers parked, happens-before edge
+  // established by the pushed/done handshake): fold every endpoint's
+  // hot-path counters into the engine stats.
+  sim::SiteHotPathCounters total;
+  for (const sim::SiteNode* node : site_nodes_) {
+    total += node->HotPathCounters();
+  }
+  stats_.keys_decided.store(total.keys_decided, std::memory_order_relaxed);
+  stats_.key_bits_consumed.store(total.key_bits_consumed,
+                                 std::memory_order_relaxed);
+  stats_.skips_taken.store(total.skips_taken, std::memory_order_relaxed);
+}
+
 void Engine::Flush() {
   DWRS_CHECK(!shut_down_) << " engine already shut down";
   if (!started_) Start();
   for (int site = 0; site < config_.num_sites; ++site) HandOffBatch(site);
   WaitQuiesce();
+  CollectSiteCounters();
 }
 
 void Engine::Run(const Workload& workload,

@@ -84,6 +84,12 @@ class Engine : public sim::Transport {
   // when the site's queue is full). Feeder thread only.
   void Push(int site, const Item& item);
 
+  // Span ingestion: appends `n` items for `site` in whole-batch copies —
+  // the zero-per-item-overhead feeder path (batch buffers are recycled
+  // through a free list, so steady-state ingestion performs no heap
+  // allocation at all). Feeder thread only.
+  void Push(int site, const Item* items, size_t n);
+
   // Hands off all partial batches and blocks until the engine is fully
   // quiescent: all item queues drained, all messages processed, no
   // endpoint callback running. On return, querying endpoints is legal.
@@ -116,6 +122,8 @@ class Engine : public sim::Transport {
  private:
   void Start();
   void HandOffBatch(int site);
+  void RefillPending(int site);
+  void CollectSiteCounters();
   void WaitQuiesce();
   bool AllIdle() const;
   uint64_t TotalUnitsPushed() const;

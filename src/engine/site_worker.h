@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "engine/channels.h"
+#include "engine/stats.h"
 #include "sim/node.h"
 #include "stream/item.h"
 
@@ -31,7 +32,11 @@ using ItemBatch = std::vector<Item>;
 
 class SiteWorker {
  public:
-  SiteWorker(sim::SiteNode* node, size_t queue_batches, QuiesceBus* bus);
+  // `control_poll_stride`: items handed to the endpoint per OnItems span
+  // between control-channel polls. `stats` (non-owned, may outlive this
+  // worker) receives recycling counters.
+  SiteWorker(sim::SiteNode* node, size_t queue_batches,
+             size_t control_poll_stride, QuiesceBus* bus, EngineStats* stats);
   ~SiteWorker();
 
   SiteWorker(const SiteWorker&) = delete;
@@ -49,6 +54,13 @@ class SiteWorker {
   // Coordinator side. Never blocks (the control channel is unbounded to
   // break the site⇄coordinator wait cycle; see channels.h).
   void PushControl(const sim::Payload& msg);
+
+  // Feeder side: pops a recycled (empty, capacity-retaining) batch buffer
+  // off the worker's free list. Returns false when none is available yet
+  // (cold start) — the feeder then allocates. Steady-state ingestion
+  // cycles the same buffers feeder -> worker -> feeder with zero heap
+  // traffic.
+  bool TryGetRecycled(ItemBatch* out) { return recycled_.TryPop(out); }
 
   // True iff every pushed unit has been fully processed.
   bool Idle() const {
@@ -71,7 +83,12 @@ class SiteWorker {
 
   sim::SiteNode* const node_;
   QuiesceBus* const bus_;
+  EngineStats* const stats_;
+  const size_t control_poll_stride_;
   SpscRing<ItemBatch> items_;
+  // Free list of drained batch buffers flowing back to the feeder
+  // (worker = producer, feeder = consumer; SPSC like items_, reversed).
+  SpscRing<ItemBatch> recycled_;
   Channel<sim::Payload> control_;  // unbounded
 
   std::atomic<uint64_t> batches_pushed_{0};

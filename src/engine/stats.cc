@@ -23,7 +23,12 @@ std::string EngineStats::ToString() const {
      << " batches=" << batches_ingested.load(std::memory_order_relaxed)
      << " ingest_stalls=" << ingest_stalls.load(std::memory_order_relaxed)
      << " upstream_stalls=" << upstream_stalls.load(std::memory_order_relaxed)
-     << " quiesces=" << quiesces.load(std::memory_order_relaxed);
+     << " quiesces=" << quiesces.load(std::memory_order_relaxed)
+     << " recycled=" << batches_recycled.load(std::memory_order_relaxed)
+     << " pool_misses=" << batch_pool_misses.load(std::memory_order_relaxed)
+     << " keys_decided=" << keys_decided.load(std::memory_order_relaxed)
+     << " key_bits=" << key_bits_consumed.load(std::memory_order_relaxed)
+     << " skips=" << skips_taken.load(std::memory_order_relaxed);
   return os.str();
 }
 

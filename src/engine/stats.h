@@ -35,6 +35,22 @@ struct EngineStats {
   std::atomic<uint64_t> upstream_stalls{0};  // site blocked: MPSC channel full
   std::atomic<uint64_t> quiesces{0};
 
+  // Batch-buffer pool: drained buffers returned to the feeder's free list
+  // vs. hand-offs that had to allocate because the list was empty (cold
+  // start). In the steady state recycled tracks batches_ingested and
+  // misses stays at ~item_queue_batches.
+  std::atomic<uint64_t> batches_recycled{0};
+  std::atomic<uint64_t> batch_pool_misses{0};
+
+  // Site hot-path counters (Proposition 7 accounting), summed over the
+  // attached endpoints at each quiesce point — keys_decided threshold
+  // decisions consuming key_bits_consumed random bits, of which
+  // skips_taken were absorbed by geometric-skip thinning at zero RNG
+  // cost. Zero for endpoints that do not export counters.
+  std::atomic<uint64_t> keys_decided{0};
+  std::atomic<uint64_t> key_bits_consumed{0};
+  std::atomic<uint64_t> skips_taken{0};
+
   uint64_t total_messages() const {
     return site_to_coord.load(std::memory_order_relaxed) +
            coord_to_site.load(std::memory_order_relaxed);

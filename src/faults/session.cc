@@ -23,24 +23,48 @@ SiteSession::SiteSession(int site, sim::Transport* lower,
   DWRS_CHECK(endpoint_ != nullptr);
 }
 
-void SiteSession::OnItem(const Item& item) {
-  const uint64_t index = items_seen_++;
-  if (!down_ && schedule_->CrashesAt(site_, index)) Crash();
-  if (down_) {
-    ++items_lost_;
-    if (--down_remaining_ == 0) Restart();
-    return;
-  }
-  if (retransmit_pending_) {
-    // Deferred go-back-N replay (see the field comment): runs at the
-    // site's own step, before the new item, so the coordinator can fill
-    // the gap and then take the new message in order.
-    retransmit_pending_ = false;
-    for (const sim::Payload& m : unacked_) {
-      if (m.seq >= retransmit_from_) lower_->SendToCoordinator(site_, m);
+void SiteSession::OnItem(const Item& item) { OnItems(&item, 1); }
+
+void SiteSession::OnItems(const Item* items, size_t n) {
+  // Walk the span splitting it into maximal live runs. The per-item
+  // crash/down bookkeeping below replays the per-item path exactly; the
+  // endpoint only ever sees contiguous live runs, and since its own span
+  // path is partition-invariant the transcript is independent of how the
+  // backend batched the stream.
+  constexpr size_t kNoRun = static_cast<size_t>(-1);
+  size_t run_start = kNoRun;
+  const auto flush_run = [&](size_t end) {
+    if (run_start == kNoRun) return;
+    endpoint_->OnItems(items + run_start, end - run_start);
+    run_start = kNoRun;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t index = items_seen_++;
+    if (!down_ && schedule_->CrashesAt(site_, index)) {
+      flush_run(i);
+      Crash();
+    }
+    if (down_) {
+      ++items_lost_;
+      if (--down_remaining_ == 0) Restart();
+      continue;
+    }
+    if (run_start == kNoRun) {
+      if (retransmit_pending_) {
+        // Deferred go-back-N replay (see the field comment): runs at the
+        // site's own step, before the new item, so the coordinator can
+        // fill the gap and then take the new message in order. A nack can
+        // only arrive between spans, so checking at the head of each live
+        // run is exactly the per-item check.
+        retransmit_pending_ = false;
+        for (const sim::Payload& m : unacked_) {
+          if (m.seq >= retransmit_from_) lower_->SendToCoordinator(site_, m);
+        }
+      }
+      run_start = i;
     }
   }
-  endpoint_->OnItem(item);
+  flush_run(n);
 }
 
 void SiteSession::OnMessage(const sim::Payload& msg) {
@@ -114,6 +138,7 @@ void SiteSession::Crash() {
   lost_unacked_ += unacked_.size();
   unacked_.clear();
   retransmit_pending_ = false;
+  pre_crash_counters_ += endpoint_->HotPathCounters();
   endpoint_.reset();
 }
 

@@ -65,8 +65,20 @@ class SiteSession : public sim::SiteNode, public sim::Transport {
               EndpointFactory factory);
 
   // --- sim::SiteNode (attached to the runtime/engine) ------------------
+  // Span ingestion splits the span at crash/restart boundaries and hands
+  // the maximal live runs to the inner endpoint's OnItems, so the batched
+  // engine path keeps its throughput under fault injection while staying
+  // transcript-identical to the per-item path (OnItem is the n = 1 span).
   void OnItem(const Item& item) override;
+  void OnItems(const Item* items, size_t n) override;
   void OnMessage(const sim::Payload& msg) override;
+  sim::SiteHotPathCounters HotPathCounters() const override {
+    // Counters of dead incarnations (folded in by Crash()) plus the
+    // live endpoint's, so crash-restarts never shrink the totals.
+    sim::SiteHotPathCounters total = pre_crash_counters_;
+    if (endpoint_) total += endpoint_->HotPathCounters();
+    return total;
+  }
 
   // --- sim::Transport (handed to the inner endpoint) -------------------
   void SendToCoordinator(int site, const sim::Payload& msg) override;
@@ -125,6 +137,8 @@ class SiteSession : public sim::SiteNode, public sim::Transport {
   uint64_t lost_unacked_ = 0;
   uint64_t items_lost_ = 0;
   uint64_t messages_dropped_down_ = 0;
+  // Hot-path counters of endpoints destroyed by crashes.
+  sim::SiteHotPathCounters pre_crash_counters_;
 };
 
 // The coordinator half. Delivers upstream messages to the inner endpoint

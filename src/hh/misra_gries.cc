@@ -77,13 +77,30 @@ class DistributedMgHh::Site : public sim::SiteNode {
       : index_(index),
         sync_every_(sync_every),
         transport_(transport),
-        summary_(capacity) {}
+        summary_(capacity) {
+    // Guarded here (not only in DistributedMgHh) since MakeSite exposes
+    // Site construction directly; 0 would wedge the OnItems chunk loop.
+    DWRS_CHECK_GT(sync_every, 0u);
+  }
 
-  void OnItem(const Item& item) override {
-    summary_.Add(item.id, item.weight);
-    if (++since_sync_ >= sync_every_) {
-      Ship();
-      since_sync_ = 0;
+  void OnItem(const Item& item) override { OnItems(&item, 1); }
+
+  void OnItems(const Item* items, size_t n) override {
+    // Chunk the span at sync boundaries so the summary-Add loop runs
+    // branch-light; identical to the per-item path by construction.
+    size_t i = 0;
+    while (i < n) {
+      const size_t until_sync = static_cast<size_t>(sync_every_ - since_sync_);
+      const size_t chunk = std::min(n - i, until_sync);
+      for (size_t j = 0; j < chunk; ++j) {
+        summary_.Add(items[i + j].id, items[i + j].weight);
+      }
+      i += chunk;
+      since_sync_ += chunk;
+      if (since_sync_ >= sync_every_) {
+        Ship();
+        since_sync_ = 0;
+      }
     }
   }
 
@@ -164,6 +181,12 @@ class DistributedMgHh::Coordinator : public sim::CoordinatorNode {
   std::vector<std::vector<MisraGries::Entry>> summaries_;
   std::vector<double> totals_;
 };
+
+std::unique_ptr<sim::SiteNode> DistributedMgHh::MakeSite(
+    int index, size_t capacity, uint64_t sync_every,
+    sim::Transport* transport) {
+  return std::make_unique<Site>(index, capacity, sync_every, transport);
+}
 
 DistributedMgHh::DistributedMgHh(int num_sites, size_t capacity,
                                  uint64_t sync_every)

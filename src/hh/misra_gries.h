@@ -72,6 +72,12 @@ class DistributedMgHh {
 
   const sim::MessageStats& stats() const { return runtime_.stats(); }
 
+  // A standalone MG site endpoint (local summary + periodic ship),
+  // exposed for the hot-path bench and the span transcript tests.
+  static std::unique_ptr<sim::SiteNode> MakeSite(int index, size_t capacity,
+                                                 uint64_t sync_every,
+                                                 sim::Transport* transport);
+
  private:
   class Site;
   class Coordinator;

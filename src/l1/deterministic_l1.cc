@@ -10,19 +10,27 @@ DetL1Site::DetL1Site(double eps, int site_index, sim::Transport* transport)
   DWRS_CHECK(transport != nullptr);
 }
 
-void DetL1Site::OnItem(const Item& item) {
-  DWRS_CHECK_GT(item.weight, 0.0);
-  local_total_ += item.weight;
-  if (last_reported_ > 0.0 &&
-      local_total_ < last_reported_ * (1.0 + eps_)) {
-    return;
-  }
+void DetL1Site::Report() {
   last_reported_ = local_total_;
+  report_at_ = local_total_ * (1.0 + eps_);
   sim::Payload msg;
   msg.type = kDetL1Report;
   msg.x = local_total_;
   msg.words = 2;
   transport_->SendToCoordinator(site_index_, msg);
+}
+
+void DetL1Site::OnItem(const Item& item) { OnItems(&item, 1); }
+
+void DetL1Site::OnItems(const Item* items, size_t n) {
+  // The no-report steady state is one add and one compare per item
+  // against the cached (1+eps) trigger point.
+  for (size_t i = 0; i < n; ++i) {
+    DWRS_CHECK_GT(items[i].weight, 0.0);
+    local_total_ += items[i].weight;
+    if (last_reported_ > 0.0 && local_total_ < report_at_) continue;
+    Report();
+  }
 }
 
 void DetL1Site::OnMessage(const sim::Payload& msg) {

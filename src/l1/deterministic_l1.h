@@ -26,14 +26,18 @@ class DetL1Site : public sim::SiteNode {
   DetL1Site(double eps, int site_index, sim::Transport* transport);
 
   void OnItem(const Item& item) override;
+  void OnItems(const Item* items, size_t n) override;
   void OnMessage(const sim::Payload& msg) override;
 
  private:
+  void Report();
+
   double eps_;
   int site_index_;
   sim::Transport* transport_;
   double local_total_ = 0.0;
   double last_reported_ = 0.0;
+  double report_at_ = 0.0;  // cached last_reported_ * (1 + eps_)
 };
 
 class DetL1Coordinator : public sim::CoordinatorNode {

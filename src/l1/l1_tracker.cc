@@ -32,27 +32,47 @@ L1Site::L1Site(const L1TrackerConfig& config, int site_index,
   DWRS_CHECK_GE(ell_, static_cast<uint64_t>(max_batch_));
 }
 
-void L1Site::OnItem(const Item& item) {
-  DWRS_CHECK_GT(item.weight, 0.0);
+void L1Site::OnItem(const Item& item) { OnItems(&item, 1); }
+
+void L1Site::OnItems(const Item* items, size_t n) {
   // Keys of the ell conceptual copies are w/t_1, ..., w/t_ell with t_j iid
   // Exp(1). The largest keys correspond to the smallest t_j, generated
   // ascending via spacings; we stop at the first t >= w/u (its key — and
   // every later one — misses the threshold) or after s copies (anything
   // beyond the batch's own top-s is evicted by its siblings immediately).
-  const double bound = threshold_ > 0.0
-                           ? item.weight / threshold_
-                           : std::numeric_limits<double>::infinity();
-  double t = 0.0;
-  for (int i = 0; i < max_batch_; ++i) {
-    t += Exponential(rng_) / static_cast<double>(ell_ - static_cast<uint64_t>(i));
-    if (t >= bound) break;
-    sim::Payload msg;
-    msg.type = kWsworRegular;
-    msg.a = item.id;
-    msg.x = item.weight;
-    msg.y = item.weight / t;
-    msg.words = 4;
-    transport_->SendToCoordinator(site_index_, msg);
+  //
+  // The first spacing is t_1 = Exp(1)/ell, so "no copy beats the
+  // threshold" is exactly "Exp(1) >= ell * w/u" — thinned through the
+  // geometric-skip filter so the (steady-state-dominant) all-miss items
+  // cost no RNG work. On a hit the filter's conditioned variate IS the
+  // first spacing's numerator; later spacings are drawn as before.
+  const double threshold = threshold_;
+  const double inv_threshold = threshold > 0.0 ? 1.0 / threshold : 0.0;
+  const double ell = static_cast<double>(ell_);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (size_t idx = 0; idx < n; ++idx) {
+    const Item& item = items[idx];
+    DWRS_CHECK_GT(item.weight, 0.0);
+    const double bound =
+        threshold > 0.0 ? item.weight * inv_threshold : kInf;
+    if (!filter_.Admit(rng_, std::isinf(bound) ? kInf : ell * bound)) {
+      continue;
+    }
+    double t = filter_.value() / ell;
+    for (int i = 0; i < max_batch_; ++i) {
+      if (i > 0) {
+        t += Exponential(rng_) /
+             static_cast<double>(ell_ - static_cast<uint64_t>(i));
+        if (t >= bound) break;
+      }
+      sim::Payload msg;
+      msg.type = kWsworRegular;
+      msg.a = item.id;
+      msg.x = item.weight;
+      msg.y = item.weight / t;
+      msg.words = 4;
+      transport_->SendToCoordinator(site_index_, msg);
+    }
   }
 }
 

@@ -25,6 +25,7 @@
 
 #include "core/config.h"
 #include "core/coordinator.h"
+#include "random/geometric_skip.h"
 #include "random/rng.h"
 #include "sim/runtime.h"
 #include "stream/workload.h"
@@ -51,7 +52,12 @@ class L1Site : public sim::SiteNode {
          uint64_t seed);
 
   void OnItem(const Item& item) override;
+  void OnItems(const Item* items, size_t n) override;
   void OnMessage(const sim::Payload& msg) override;
+  sim::SiteHotPathCounters HotPathCounters() const override {
+    return {filter_.decisions(), filter_.bits_consumed(),
+            filter_.skips_taken()};
+  }
 
  private:
   const L1TrackerConfig config_;
@@ -60,6 +66,10 @@ class L1Site : public sim::SiteNode {
   int site_index_;
   sim::Transport* transport_;
   Rng rng_;
+  // Thins the first (smallest-t) conceptual copy: in the steady state
+  // the overwhelmingly common outcome is "none of the ell copies beats
+  // the threshold", decided here at O(1) amortized RNG cost.
+  GeometricSkipFilter filter_;
   double threshold_ = 0.0;
 };
 

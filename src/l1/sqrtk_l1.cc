@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
-#include "random/distributions.h"
 #include "util/check.h"
 
 namespace dwrs {
 
+double SqrtkL1Site::UnitHazard(double q) {
+  return -std::log1p(-std::min(q, 1.0 - 1e-15));
+}
+
 SqrtkL1Site::SqrtkL1Site(int site_index, sim::Transport* transport, uint64_t seed)
     : site_index_(site_index), transport_(transport), rng_(seed) {
   DWRS_CHECK(transport != nullptr);
+  neg_log1p_q_ = UnitHazard(q_);
 }
 
 void SqrtkL1Site::Report() {
@@ -23,31 +27,43 @@ void SqrtkL1Site::Report() {
   transport_->SendToCoordinator(site_index_, msg);
 }
 
-void SqrtkL1Site::OnItem(const Item& item) {
-  DWRS_CHECK_GT(item.weight, 0.0);
-  local_total_ += item.weight;
-  unreported_ += item.weight;
-  if (!ever_reported_) {
-    // First local item always reported (it may be the global first, and
-    // any correct tracker must register it — cf. Theorem 7's argument).
-    Report();
-    return;
+void SqrtkL1Site::OnItem(const Item& item) { OnItems(&item, 1); }
+
+void SqrtkL1Site::OnItems(const Item* items, size_t n) {
+  const double q = q_;
+  const double unit_hazard = neg_log1p_q_;
+  const double cap = q < 1.0 ? 3.0 / q : 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Item& item = items[i];
+    DWRS_CHECK_GT(item.weight, 0.0);
+    local_total_ += item.weight;
+    unreported_ += item.weight;
+    if (!ever_reported_) {
+      // First local item always reported (it may be the global first, and
+      // any correct tracker must register it — cf. Theorem 7's argument).
+      Report();
+      continue;
+    }
+    // Deterministic cap: never let unreported drift exceed a few expected
+    // inter-report gaps (bounds the coordinator's correction bias without
+    // changing the message asymptotics).
+    if (cap > 0.0 && unreported_ >= cap) {
+      Report();
+      continue;
+    }
+    // Report with probability 1 - (1-q)^w, i.e. hazard w * -log(1-q) —
+    // the geometric-skip filter makes the (dominant) no-report outcome
+    // free of RNG work.
+    if (filter_.Admit(rng_, item.weight * unit_hazard)) Report();
   }
-  // Deterministic cap: never let unreported drift exceed a few expected
-  // inter-report gaps (bounds the coordinator's correction bias without
-  // changing the message asymptotics).
-  if (q_ < 1.0 && unreported_ >= 3.0 / q_) {
-    Report();
-    return;
-  }
-  // Report with probability 1 - (1-q)^w: q per unit of weight.
-  const double p = -std::expm1(item.weight * std::log1p(-std::min(q_, 1.0 - 1e-15)));
-  if (rng_.NextDouble() < p) Report();
 }
 
 void SqrtkL1Site::OnMessage(const sim::Payload& msg) {
   DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kSqrtkNewPhase));
-  if (msg.x < q_) q_ = msg.x;
+  if (msg.x < q_) {
+    q_ = msg.x;
+    neg_log1p_q_ = UnitHazard(q_);
+  }
 }
 
 SqrtkL1Coordinator::SqrtkL1Coordinator(int num_sites, double eps,

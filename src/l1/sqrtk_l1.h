@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "random/geometric_skip.h"
 #include "random/rng.h"
 #include "sim/runtime.h"
 #include "stream/workload.h"
@@ -35,7 +36,12 @@ class SqrtkL1Site : public sim::SiteNode {
   SqrtkL1Site(int site_index, sim::Transport* transport, uint64_t seed);
 
   void OnItem(const Item& item) override;
+  void OnItems(const Item* items, size_t n) override;
   void OnMessage(const sim::Payload& msg) override;
+  sim::SiteHotPathCounters HotPathCounters() const override {
+    return {filter_.decisions(), filter_.bits_consumed(),
+            filter_.skips_taken()};
+  }
 
  private:
   void Report();
@@ -43,7 +49,13 @@ class SqrtkL1Site : public sim::SiteNode {
   int site_index_;
   sim::Transport* transport_;
   Rng rng_;
+  GeometricSkipFilter filter_;
+  // -log(1 - min(q, 1-1e-15)): hazard per unit weight, cached whenever q
+  // changes so the per-item report coin is hazard = w * neg_log1p_q_.
+  static double UnitHazard(double q);
+
   double q_ = 1.0;  // per-unit-weight reporting probability
+  double neg_log1p_q_ = 0.0;  // set from q_ in the constructor
   double local_total_ = 0.0;
   double unreported_ = 0.0;  // weight since the last report
   bool ever_reported_ = false;

@@ -1,0 +1,7 @@
+// GeometricSkipFilter is header-only (every member is on a sampler hot
+// path); this translation unit compiles the header standalone and
+// anchors the module in the build.
+
+#include "random/geometric_skip.h"
+
+namespace dwrs {}  // namespace dwrs

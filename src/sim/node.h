@@ -16,6 +16,7 @@
 #ifndef DWRS_SIM_NODE_H_
 #define DWRS_SIM_NODE_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/message.h"
@@ -48,12 +49,40 @@ class Transport {
   virtual uint64_t step() const = 0;
 };
 
+// Hot-path instrumentation a site endpoint may export (Proposition 7
+// accounting): how many threshold decisions it made, how many random
+// bits those decisions consumed, and how many items the geometric-skip
+// thinning rejected without touching the RNG at all. Endpoints without
+// a randomized filter report zeros.
+struct SiteHotPathCounters {
+  uint64_t keys_decided = 0;
+  uint64_t key_bits_consumed = 0;
+  uint64_t skips_taken = 0;
+
+  SiteHotPathCounters& operator+=(const SiteHotPathCounters& o) {
+    keys_decided += o.keys_decided;
+    key_bits_consumed += o.key_bits_consumed;
+    skips_taken += o.skips_taken;
+    return *this;
+  }
+};
+
 // A protocol endpoint running at a site. Implementations receive their
 // site index and a Transport for sending at construction time.
 class SiteNode {
  public:
   virtual ~SiteNode() = default;
   virtual void OnItem(const Item& item) = 0;
+  // Span ingestion: the batched hot path. Semantically identical to
+  // calling OnItem per element — endpoints overriding this MUST keep the
+  // transcript equal to the per-item path for every partition of the
+  // stream into spans (hoist loop-invariant state, but make randomized
+  // filters partition-invariant; see random/geometric_skip.h). The
+  // backends guarantee OnMessage is never interleaved inside one OnItems
+  // call, so endpoint state is loop-invariant within a span.
+  virtual void OnItems(const Item* items, size_t n) {
+    for (size_t i = 0; i < n; ++i) OnItem(items[i]);
+  }
   virtual void OnMessage(const Payload& msg) = 0;
   // Invoked once per global round for sites registered via
   // Runtime::AttachTicker. In the paper's synchronous model every site
@@ -61,6 +90,8 @@ class SiteNode {
   // evolves with time alone (e.g. sliding-window expiry) hook this.
   // Backend note: only the step-synchronous simulator drives tickers.
   virtual void OnRound(uint64_t /*step*/) {}
+  // Hot-path counters for stats surfacing (engine::Stats, bench JSON).
+  virtual SiteHotPathCounters HotPathCounters() const { return {}; }
 };
 
 class CoordinatorNode {

@@ -50,7 +50,9 @@ void Runtime::Deliver(const WorkloadEvent& event) {
   Pump(/*force=*/false);
   SiteNode* site = sites_[static_cast<size_t>(event.site)];
   DWRS_CHECK(site != nullptr);
-  site->OnItem(event.item);
+  // Route through the span API (n = 1: the paper's one-item-per-step
+  // model) so both backends exercise the same endpoint code path.
+  site->OnItems(&event.item, 1);
   Pump(/*force=*/false);
 }
 

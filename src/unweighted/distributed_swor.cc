@@ -1,6 +1,7 @@
 #include "unweighted/distributed_swor.h"
 
 #include <cmath>
+#include <limits>
 
 #include "util/check.h"
 #include "util/math_util.h"
@@ -22,22 +23,39 @@ UsworSite::UsworSite(const UsworConfig& config, int site_index,
   DWRS_CHECK(transport != nullptr);
 }
 
-void UsworSite::OnItem(const Item& item) {
-  const double key = rng_.NextDoubleOpenLeft();
-  if (key >= tau_hat_) return;
-  sim::Payload msg;
-  msg.type = kUsworCandidate;
-  msg.a = item.id;
-  msg.x = item.weight;  // carried through for interface parity
-  msg.y = key;
-  msg.words = 3;
-  transport_->SendToCoordinator(site_index_, msg);
+void UsworSite::OnItem(const Item& item) { OnItems(&item, 1); }
+
+void UsworSite::OnItems(const Item* items, size_t n) {
+  // A uniform key lands below tau_hat iff Exp(1) < -log(1 - tau_hat), so
+  // the per-item coin is run through the geometric-skip filter: the gap
+  // between sends is Geometric(tau_hat) and the items in between cost no
+  // RNG work. On a hit, mapping the conditioned exponential through
+  // 1 - e^{-t} recovers the key's conditional law Uniform(0, tau_hat).
+  const double tau = tau_hat_;
+  const double hazard = hazard_;
+  for (size_t i = 0; i < n; ++i) {
+    if (!filter_.Admit(rng_, hazard)) continue;
+    double key = -std::expm1(-filter_.value());
+    if (key >= tau) key = std::nextafter(tau, 0.0);  // fp agreement guard
+    if (key <= 0.0) key = std::numeric_limits<double>::min();
+    sim::Payload msg;
+    msg.type = kUsworCandidate;
+    msg.a = items[i].id;
+    msg.x = items[i].weight;  // carried through for interface parity
+    msg.y = key;
+    msg.words = 3;
+    transport_->SendToCoordinator(site_index_, msg);
+  }
 }
 
 void UsworSite::OnMessage(const sim::Payload& msg) {
   DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kUsworThreshold));
   // Thresholds only shrink; ignore stale announcements.
-  if (msg.x < tau_hat_) tau_hat_ = msg.x;
+  if (msg.x < tau_hat_) {
+    tau_hat_ = msg.x;
+    hazard_ = msg.x < 1.0 ? -std::log1p(-msg.x)
+                          : std::numeric_limits<double>::infinity();
+  }
 }
 
 UsworCoordinator::UsworCoordinator(const UsworConfig& config,

@@ -14,9 +14,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
+#include "random/geometric_skip.h"
 #include "random/rng.h"
 #include "sampling/top_key_heap.h"
 #include "sim/runtime.h"
@@ -46,13 +48,24 @@ class UsworSite : public sim::SiteNode {
             uint64_t seed);
 
   void OnItem(const Item& item) override;
+  void OnItems(const Item* items, size_t n) override;
   void OnMessage(const sim::Payload& msg) override;
+  sim::SiteHotPathCounters HotPathCounters() const override {
+    return {filter_.decisions(), filter_.bits_consumed(),
+            filter_.skips_taken()};
+  }
 
  private:
   int site_index_;
   sim::Transport* transport_;
   Rng rng_;
+  GeometricSkipFilter filter_;
   double tau_hat_ = 1.0;  // announced filter; keys >= tau_hat are dropped
+  // -log(1 - tau_hat): the filter hazard equivalent of "uniform key below
+  // tau_hat" (P(Exp(1) < h) = tau_hat); +inf while tau_hat = 1, cached so
+  // the hot loop pays no transcendental. All items share this hazard, so
+  // the thinning here is literal geometric skipping.
+  double hazard_ = std::numeric_limits<double>::infinity();
 };
 
 class UsworCoordinator : public sim::CoordinatorNode {

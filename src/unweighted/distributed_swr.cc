@@ -23,32 +23,40 @@ SlottedSwrSite::SlottedSwrSite(const SlottedSwrConfig& config, int site_index,
   DWRS_CHECK(transport != nullptr);
 }
 
-void SlottedSwrSite::OnItem(const Item& item) {
-  const double w = config_.weighted ? item.weight : 1.0;
-  DWRS_CHECK_GE(w, 1.0);
-  // Number of races whose key (min of w uniforms) lands below the filter:
-  // one Binomial draw replaces s independent Bernoulli(alpha) flips.
-  const double alpha = MinUniformBelowProb(w, tau_hat_);
-  const uint64_t hits = Binomial(
-      rng_, static_cast<uint64_t>(config_.sample_size), alpha);
-  if (hits == 0) return;
-  // Choose which races fired: a uniform random subset of size `hits`
-  // (partial Fisher-Yates over race indices).
+void SlottedSwrSite::OnItem(const Item& item) { OnItems(&item, 1); }
+
+void SlottedSwrSite::OnItems(const Item* items, size_t n) {
+  const bool weighted = config_.weighted;
+  const double tau = tau_hat_;
   const uint64_t s = static_cast<uint64_t>(config_.sample_size);
-  std::vector<uint64_t> races(s);
-  for (uint64_t i = 0; i < s; ++i) races[i] = i;
-  for (uint64_t i = 0; i < hits; ++i) {
-    const uint64_t j = i + rng_.NextBounded(s - i);
-    std::swap(races[i], races[j]);
-    // Conditional key below the filter.
-    const double key = TruncatedMinUniform(rng_, w, tau_hat_);
-    sim::Payload msg;
-    msg.type = kSwrCandidate;
-    msg.a = (races[i] << 40) | (item.id & ((1ull << 40) - 1));
-    msg.x = item.weight;
-    msg.y = key;
-    msg.words = 4;
-    transport_->SendToCoordinator(site_index_, msg);
+  for (size_t idx = 0; idx < n; ++idx) {
+    const Item& item = items[idx];
+    const double w = weighted ? item.weight : 1.0;
+    DWRS_CHECK_GE(w, 1.0);
+    // Number of races whose key (min of w uniforms) lands below the
+    // filter: one Binomial draw replaces s independent Bernoulli(alpha)
+    // flips.
+    const double alpha = MinUniformBelowProb(w, tau);
+    const uint64_t hits = Binomial(rng_, s, alpha);
+    if (hits == 0) continue;
+    // Choose which races fired: a uniform random subset of size `hits`
+    // (partial Fisher-Yates over race indices, in the reused scratch
+    // buffer — no allocation on the hot path).
+    races_.resize(s);
+    for (uint64_t i = 0; i < s; ++i) races_[i] = i;
+    for (uint64_t i = 0; i < hits; ++i) {
+      const uint64_t j = i + rng_.NextBounded(s - i);
+      std::swap(races_[i], races_[j]);
+      // Conditional key below the filter.
+      const double key = TruncatedMinUniform(rng_, w, tau);
+      sim::Payload msg;
+      msg.type = kSwrCandidate;
+      msg.a = (races_[i] << 40) | (item.id & ((1ull << 40) - 1));
+      msg.x = item.weight;
+      msg.y = key;
+      msg.words = 4;
+      transport_->SendToCoordinator(site_index_, msg);
+    }
   }
 }
 

@@ -47,6 +47,7 @@ class SlottedSwrSite : public sim::SiteNode {
                  sim::Transport* transport, uint64_t seed);
 
   void OnItem(const Item& item) override;
+  void OnItems(const Item* items, size_t n) override;
   void OnMessage(const sim::Payload& msg) override;
 
  private:
@@ -55,6 +56,7 @@ class SlottedSwrSite : public sim::SiteNode {
   sim::Transport* transport_;
   Rng rng_;
   double tau_hat_ = 1.0;
+  std::vector<uint64_t> races_;  // reused scratch: zero-alloc hot path
 };
 
 class SlottedSwrCoordinator : public sim::CoordinatorNode {

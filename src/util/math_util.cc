@@ -6,15 +6,31 @@
 
 namespace dwrs {
 
+int PowerOfTwoExponent(double base) {
+  const int e = std::ilogb(base);
+  if (e >= 1 && std::ldexp(1.0, e) == base) return e;
+  return 0;
+}
+
 int FloorLogBase(double x, double base) {
   DWRS_CHECK_GT(base, 1.0);
   if (x < base) return 0;
+  // base = 2^m: floor(log2 x) is the IEEE exponent (exact for every
+  // normal x), and floor(log_{2^m} x) = floor(floor(log2 x) / m) — an
+  // integer identity, so no boundary fix-up is needed.
+  const int base_exp = PowerOfTwoExponent(base);
+  if (base_exp != 0) return std::ilogb(x) / base_exp;
   int j = static_cast<int>(std::floor(std::log(x) / std::log(base)));
   // Guard against floating point rounding at boundaries: adjust so that
   // base^j <= x < base^(j+1) holds exactly with PowInt.
   while (j > 0 && PowInt(base, j) > x) --j;
   while (PowInt(base, j + 1) <= x) ++j;
   return j;
+}
+
+LevelIndexer::LevelIndexer(double base)
+    : base_(base), base_exp_(PowerOfTwoExponent(base)) {
+  DWRS_CHECK_GT(base, 1.0);
 }
 
 double PowInt(double base, int j) {

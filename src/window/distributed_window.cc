@@ -17,8 +17,7 @@ WindowSite::WindowSite(const WindowConfig& config, int site_index,
   DWRS_CHECK(transport != nullptr);
 }
 
-void WindowSite::ForwardNewTopEntries() {
-  const uint64_t now = transport_->step();
+void WindowSite::ForwardNewTopEntries(uint64_t now) {
   for (size_t idx : skyline_.TopIndices(now)) {
     const KeySkyline::Entry& e = skyline_.entries()[idx];
     if (forwarded_.contains(e.item.id)) continue;
@@ -44,14 +43,22 @@ void WindowSite::ForwardNewTopEntries() {
   }
 }
 
-void WindowSite::OnItem(const Item& item) {
-  DWRS_CHECK_GT(item.weight, 0.0);
+void WindowSite::OnItem(const Item& item) { OnItems(&item, 1); }
+
+void WindowSite::OnItems(const Item* items, size_t n) {
+  // The round clock is read once per span: every item of the span
+  // arrives at the same global step (the step-synchronous simulator — the
+  // only backend driving this time-based protocol — delivers one item per
+  // step, so spans larger than 1 only occur within a single step).
   const uint64_t now = transport_->step();
   skyline_.ExpireUpTo(now);
-  skyline_.Add(now, item, item.weight / Exponential(rng_));
-  // Expiries can promote older entries into the local top-s, and the new
-  // arrival may enter it directly; forward anything newly promoted.
-  ForwardNewTopEntries();
+  for (size_t i = 0; i < n; ++i) {
+    DWRS_CHECK_GT(items[i].weight, 0.0);
+    skyline_.Add(now, items[i], items[i].weight / Exponential(rng_));
+    // Expiries can promote older entries into the local top-s, and the
+    // new arrival may enter it directly; forward anything newly promoted.
+    ForwardNewTopEntries(now);
+  }
 }
 
 void WindowSite::OnRound(uint64_t step) {
@@ -60,7 +67,7 @@ void WindowSite::OnRound(uint64_t step) {
   // can only happen via an expiry).
   if (skyline_.entries().front().step + config_.window > step) return;
   skyline_.ExpireUpTo(step);
-  ForwardNewTopEntries();
+  ForwardNewTopEntries(step);
 }
 
 void WindowSite::OnMessage(const sim::Payload& msg) {

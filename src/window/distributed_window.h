@@ -50,6 +50,7 @@ class WindowSite : public sim::SiteNode {
              sim::Transport* transport, uint64_t seed);
 
   void OnItem(const Item& item) override;
+  void OnItems(const Item* items, size_t n) override;
   void OnMessage(const sim::Payload& msg) override;
   // Expiry of older entries can promote retained ones into the local
   // top-s; react to the round clock even without a local arrival.
@@ -58,7 +59,7 @@ class WindowSite : public sim::SiteNode {
   size_t SkylineSize() const { return skyline_.size(); }
 
  private:
-  void ForwardNewTopEntries();
+  void ForwardNewTopEntries(uint64_t now);
 
   const WindowConfig config_;
   int site_index_;

@@ -5,6 +5,7 @@
 #include "gtest/gtest.h"
 #include "random/distributions.h"
 #include "random/exponential_order_stats.h"
+#include "random/geometric_skip.h"
 #include "random/lazy_exponential.h"
 #include "random/rng.h"
 #include "stats/chi_square.h"
@@ -431,6 +432,112 @@ TEST(WeightedDrawTest, Normalizes) {
   const auto p = WeightedDrawProbabilities({1.0, 3.0});
   EXPECT_NEAR(p[0], 0.25, 1e-12);
   EXPECT_NEAR(p[1], 0.75, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Geometric-skip thinning (the batched threshold-filter hot path).
+
+TEST(GeometricSkipTest, AcceptanceProbabilityMatchesHazard) {
+  Rng rng(61);
+  for (double hazard : {0.05, 0.7, 2.0}) {
+    GeometricSkipFilter filter;
+    uint64_t accepted = 0;
+    const uint64_t trials = 40000;
+    for (uint64_t i = 0; i < trials; ++i) {
+      accepted += filter.Admit(rng, hazard);
+    }
+    const double p = -std::expm1(-hazard);
+    EXPECT_GT(BinomialTwoSidedPValue(accepted, trials, p), 1e-4)
+        << "hazard=" << hazard;
+  }
+}
+
+TEST(GeometricSkipTest, AcceptedValueHasTruncatedExponentialLaw) {
+  Rng rng(62);
+  GeometricSkipFilter filter;
+  const double hazard = 0.8;
+  const double scale = -std::expm1(-hazard);
+  std::vector<double> samples;
+  while (samples.size() < 20000) {
+    if (filter.Admit(rng, hazard)) {
+      EXPECT_GT(filter.value(), 0.0);
+      EXPECT_LT(filter.value(), hazard);
+      samples.push_back(filter.value());
+    }
+  }
+  const KsResult ks = KsTest(samples, [&](double x) {
+    if (x <= 0.0) return 0.0;
+    if (x >= hazard) return 1.0;
+    return -std::expm1(-x) / scale;
+  });
+  EXPECT_GT(ks.p_value, 1e-4);
+}
+
+TEST(GeometricSkipTest, MixedHazardsStayPerItemExact) {
+  // A repeating hazard pattern: each position's acceptance frequency must
+  // match its own probability even though all positions share one filter
+  // (memorylessness of the residual budget = exact rejection correction).
+  const std::vector<double> hazards = {0.02, 1.5, 0.3};
+  std::vector<uint64_t> accepted(hazards.size(), 0);
+  Rng rng(63);
+  GeometricSkipFilter filter;
+  const uint64_t rounds = 30000;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < hazards.size(); ++i) {
+      accepted[i] += filter.Admit(rng, hazards[i]);
+    }
+  }
+  for (size_t i = 0; i < hazards.size(); ++i) {
+    EXPECT_GT(BinomialTwoSidedPValue(accepted[i], rounds,
+                                     -std::expm1(-hazards[i])),
+              1e-4)
+        << "position " << i;
+  }
+}
+
+TEST(GeometricSkipTest, SkipsConsumeNoRandomness) {
+  Rng rng(64);
+  GeometricSkipFilter filter;
+  const uint64_t decisions = 100000;
+  for (uint64_t i = 0; i < decisions; ++i) {
+    filter.Admit(rng, 1e-4);  // p ~ 1e-4: skips dominate
+  }
+  EXPECT_EQ(filter.decisions(), decisions);
+  EXPECT_EQ(filter.accepts() + filter.skips_taken(), decisions);
+  // One draw per accept plus at most one pending draw outstanding.
+  EXPECT_LE(filter.draws(), filter.accepts() + 1);
+  EXPECT_EQ(filter.bits_consumed(), filter.draws() * 64);
+  EXPECT_GT(filter.skips_taken(), decisions * 99 / 100);
+}
+
+TEST(GeometricSkipTest, DegenerateHazards) {
+  Rng rng(65);
+  GeometricSkipFilter filter;
+  EXPECT_FALSE(filter.Admit(rng, 0.0));
+  EXPECT_FALSE(filter.Admit(rng, -1.0));
+  EXPECT_EQ(filter.draws(), 0u);  // free rejections
+  EXPECT_TRUE(
+      filter.Admit(rng, std::numeric_limits<double>::infinity()));
+  EXPECT_GT(filter.value(), 0.0);
+}
+
+TEST(GeometricSkipTest, ConstantHazardGapsAreGeometric) {
+  // With equal hazards the distance between accepts is Geometric(p):
+  // check the mean matches 1/p (the literal "skip length" of the name).
+  Rng rng(66);
+  GeometricSkipFilter filter;
+  const double hazard = 0.1;
+  const double p = -std::expm1(-hazard);
+  const uint64_t accept_target = 20000;
+  uint64_t decisions = 0;
+  uint64_t accepted = 0;
+  while (accepted < accept_target) {
+    ++decisions;
+    accepted += filter.Admit(rng, hazard);
+  }
+  const double mean_gap =
+      static_cast<double>(decisions) / static_cast<double>(accept_target);
+  EXPECT_NEAR(mean_gap, 1.0 / p, 0.05 * (1.0 / p));
 }
 
 }  // namespace

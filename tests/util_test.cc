@@ -7,6 +7,7 @@
 
 #include "gtest/gtest.h"
 #include "bench_util.h"
+#include "random/rng.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -50,6 +51,61 @@ TEST(FloorLogBaseTest, NonIntegerBase) {
     EXPECT_EQ(FloorLogBase(x * 1.0001, r), j);
     if (j > 0) {
       EXPECT_EQ(FloorLogBase(x * 0.9999, r), j - 1);
+    }
+  }
+}
+
+// Golden boundary pins for the exponent-extraction fast path: weights
+// exactly at a level boundary base^j must land on level j, one ulp below
+// on level j-1, for power-of-two bases across the whole exponent range.
+TEST(FloorLogBaseTest, GoldenPowerOfTwoBoundariesExact) {
+  for (double base : {2.0, 4.0, 8.0, 1024.0}) {
+    const int m = static_cast<int>(std::log2(base));
+    for (int j = 1; m * j < 1020; j *= 3) {
+      const double x = std::ldexp(1.0, m * j);  // base^j exactly
+      ASSERT_EQ(FloorLogBase(x, base), j) << "base=" << base << " j=" << j;
+      ASSERT_EQ(FloorLogBase(std::nextafter(x, 0.0), base), j - 1)
+          << "base=" << base << " j=" << j;
+      ASSERT_EQ(FloorLogBase(std::nextafter(x, 1e308), base), j)
+          << "base=" << base << " j=" << j;
+    }
+  }
+  // Full-range sanity: the top of the double range.
+  EXPECT_EQ(FloorLogBase(std::ldexp(1.0, 1000), 2.0), 1000);
+  EXPECT_EQ(FloorLogBase(std::numeric_limits<double>::max(), 2.0), 1023);
+}
+
+TEST(FloorLogBaseTest, GoldenNonPowerOfTwoBoundariesExact) {
+  // The transcendental fallback still pins boundaries exactly via the
+  // PowInt fix-up loops.
+  for (double base : {2.5, 3.0, 6.0}) {
+    for (int j = 1; j < 60; j += 7) {
+      const double x = PowInt(base, j);
+      ASSERT_EQ(FloorLogBase(x, base), j) << "base=" << base << " j=" << j;
+      ASSERT_EQ(FloorLogBase(std::nextafter(x, 0.0), base), j - 1)
+          << "base=" << base << " j=" << j;
+    }
+  }
+}
+
+TEST(PowerOfTwoExponentTest, DiscriminatesExactPowers) {
+  EXPECT_EQ(PowerOfTwoExponent(2.0), 1);
+  EXPECT_EQ(PowerOfTwoExponent(4.0), 2);
+  EXPECT_EQ(PowerOfTwoExponent(1024.0), 10);
+  EXPECT_EQ(PowerOfTwoExponent(3.0), 0);
+  EXPECT_EQ(PowerOfTwoExponent(2.5), 0);
+  EXPECT_EQ(PowerOfTwoExponent(1.0), 0);   // base 1 is not a usable level base
+  EXPECT_EQ(PowerOfTwoExponent(0.5), 0);   // and neither is anything below 2
+}
+
+TEST(LevelIndexerTest, MatchesFloorLogBase) {
+  Rng rng(71);
+  for (double base : {2.0, 2.5, 4.0, 3.0}) {
+    const LevelIndexer indexer(base);
+    for (int i = 0; i < 2000; ++i) {
+      const double x = std::exp(rng.NextDouble() * 40.0 - 2.0);
+      ASSERT_EQ(indexer(x), FloorLogBase(x, base)) << "x=" << x
+                                                   << " base=" << base;
     }
   }
 }
