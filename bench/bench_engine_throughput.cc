@@ -10,15 +10,29 @@
 // (zero parallelism available — worst case for the engine) and the
 // engine's batch-size sensitivity.
 //
+// E12 — sharded multi-coordinator topology (engine::ShardedEngine): the
+// single coordinator thread and its one MPSC inbox are the engine's
+// serialization point, so the sweep that exposes them is message-HEAVY —
+// the naive baseline protocol with an unsaturable local top-s (every
+// item becomes an upstream message), high k, small ingestion batches.
+// S ∈ {1, 2, 4} shard coordinators against the unsharded engine, plus a
+// sharded row on the paper protocol's (message-light) Zipf workload,
+// where sharding is expected to be ~neutral. `--shards=N` restricts the
+// sweep to one shard count.
+//
 // Results are written to BENCH_engine_throughput.json (schema: name,
-// params, rows[backend, k, items_per_sec, messages, ...]).
+// params, rows[workload, backend, k, batch_size, shards, items_per_sec,
+// messages, ...]).
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "bench_util.h"
+#include "core/sharded_sampler.h"
 #include "engine/engine.h"
+#include "engine/sharded_engine.h"
 
 namespace dwrs {
 namespace {
@@ -33,6 +47,8 @@ struct BackendResult {
   uint64_t key_bits = 0;
   uint64_t skips_taken = 0;
   uint64_t batches_recycled = 0;
+  // Sharded rows: per-shard coordinator-inbox traffic, "m0|m1|...".
+  std::string per_shard_messages;
 };
 
 double Now() {
@@ -85,26 +101,122 @@ BackendResult RunEngine(const Workload& w, int k, int s, uint64_t seed,
   return result;
 }
 
+std::string JoinCounts(const std::vector<uint64_t>& counts) {
+  std::string out;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i != 0) out += '|';
+    out += std::to_string(counts[i]);
+  }
+  return out;
+}
+
+// The sharded paper protocol (weighted SWOR) on the engine backend.
+BackendResult RunShardedWswor(const Workload& w, int k, int shards, int s,
+                              uint64_t seed, size_t batch_size) {
+  const WsworConfig config{.num_sites = k, .sample_size = s, .seed = seed};
+  engine::ShardedEngineConfig engine_config;
+  engine_config.num_sites = k;
+  engine_config.num_shards = shards;
+  engine_config.shard.batch_size = batch_size;
+  engine::ShardedEngine eng(engine_config);
+  const ShardedWsworEndpoints endpoints = AttachShardedWswor(config, eng);
+  const double t0 = Now();
+  eng.Run(w);
+  const double t1 = Now();
+  BackendResult result;
+  result.seconds = t1 - t0;
+  result.items_per_sec = static_cast<double>(w.size()) / (t1 - t0);
+  result.messages = eng.AggregateMessageSnapshot().total_messages();
+  result.per_shard_messages = JoinCounts(eng.PerShardMessages());
+  eng.Shutdown();
+  return result;
+}
+
+// Message-heavy stack: the naive baseline with an unsaturable local
+// top-s (s >= the per-site stream), so EVERY item crosses the
+// site->coordinator channel — the workload where the coordinator inbox,
+// not the sites, is the bottleneck. shards == 0 runs the plain
+// single-coordinator engine::Engine (the baseline the sharded rows are
+// judged against); shards >= 1 runs engine::ShardedEngine.
+BackendResult RunNaiveMessageHeavy(const Workload& w, int k, int shards,
+                                   int s, uint64_t seed, size_t batch_size) {
+  Rng master(seed);
+  std::vector<std::unique_ptr<NaiveWsworSite>> sites;
+  std::vector<std::unique_ptr<NaiveWsworCoordinator>> coordinators;
+  BackendResult result;
+  if (shards == 0) {
+    engine::Engine eng(
+        engine::EngineConfig{.num_sites = k, .batch_size = batch_size});
+    for (int i = 0; i < k; ++i) {
+      sites.push_back(std::make_unique<NaiveWsworSite>(
+          s, i, &eng.transport(), master.NextU64()));
+      eng.AttachSite(i, sites.back().get());
+    }
+    coordinators.push_back(std::make_unique<NaiveWsworCoordinator>(s));
+    eng.AttachCoordinator(coordinators.back().get());
+    const double t0 = Now();
+    eng.Run(w);
+    const double t1 = Now();
+    result.seconds = t1 - t0;
+    result.items_per_sec = static_cast<double>(w.size()) / (t1 - t0);
+    result.messages = eng.stats().total_messages();
+    eng.Shutdown();
+    return result;
+  }
+  engine::ShardedEngineConfig engine_config;
+  engine_config.num_sites = k;
+  engine_config.num_shards = shards;
+  engine_config.shard.batch_size = batch_size;
+  engine::ShardedEngine eng(engine_config);
+  const ShardTopology& topo = eng.topology();
+  for (int i = 0; i < k; ++i) {
+    const int shard = topo.ShardOf(i);
+    sites.push_back(std::make_unique<NaiveWsworSite>(
+        s, topo.LocalOf(i), &eng.shard_transport(shard), master.NextU64()));
+    eng.AttachSite(i, sites.back().get());
+  }
+  for (int shard = 0; shard < shards; ++shard) {
+    coordinators.push_back(std::make_unique<NaiveWsworCoordinator>(s));
+    eng.AttachShardCoordinator(shard, coordinators.back().get());
+  }
+  const double t0 = Now();
+  eng.Run(w);
+  const double t1 = Now();
+  result.seconds = t1 - t0;
+  result.items_per_sec = static_cast<double>(w.size()) / (t1 - t0);
+  result.messages = eng.AggregateMessageSnapshot().total_messages();
+  result.per_shard_messages = JoinCounts(eng.PerShardMessages());
+  eng.Shutdown();
+  return result;
+}
+
 void Report(bench::JsonBench& json, const std::string& workload,
             const std::string& backend, int k, size_t batch,
-            const BackendResult& r) {
-  bench::Row("  %-12s %-8s k=%-3d batch=%-5zu %12.0f items/s  %8llu msgs",
-             workload.c_str(), backend.c_str(), k, batch, r.items_per_sec,
-             static_cast<unsigned long long>(r.messages));
+            const BackendResult& r, int shards = 1) {
+  bench::Row(
+      "  %-14s %-8s k=%-3d S=%d batch=%-5zu %12.0f items/s  %8llu msgs%s%s",
+      workload.c_str(), backend.c_str(), k, shards, batch, r.items_per_sec,
+      static_cast<unsigned long long>(r.messages),
+      r.per_shard_messages.empty() ? "" : "  per-shard=",
+      r.per_shard_messages.c_str());
   json.StartRow()
       .Field("workload", workload)
       .Field("backend", backend)
       .Field("k", static_cast<uint64_t>(k))
       .Field("batch_size", static_cast<uint64_t>(batch))
+      .Field("shards", static_cast<uint64_t>(shards))
       .Field("items_per_sec", r.items_per_sec)
       .Field("messages", r.messages)
       .Field("keys_decided", r.keys_decided)
       .Field("key_bits_consumed", r.key_bits)
       .Field("skips_taken", r.skips_taken)
       .Field("batches_recycled", r.batches_recycled);
+  if (!r.per_shard_messages.empty()) {
+    json.Field("per_shard_messages", r.per_shard_messages);
+  }
 }
 
-int Main(bool quick) {
+int Main(bool quick, int shards_filter) {
   const uint64_t n = quick ? 60'000 : 400'000;
   const int s = 32;
   const size_t batch = 1024;
@@ -151,6 +263,49 @@ int Main(bool quick) {
     }
   }
 
+  // E12 — sharded multi-coordinator topology.
+  const std::vector<int> shard_sweep =
+      shards_filter > 0 ? std::vector<int>{shards_filter}
+                        : std::vector<int>{1, 2, 4};
+
+  // Message-heavy: every item crosses the coordinator channel (naive
+  // protocol, unsaturable top-s), high k, small ingestion batches — the
+  // configuration where the single coordinator thread serializes the
+  // run and S coordinator threads (k/S producers per channel instead of
+  // k) buy throughput back.
+  {
+    const int k = 16;
+    const size_t small_batch = 64;
+    const int s_heavy = static_cast<int>(2 * n / static_cast<uint64_t>(k));
+    const Workload w = bench::ZipfWorkload(k, n, /*seed=*/29);
+    const BackendResult single =
+        RunNaiveMessageHeavy(w, k, /*shards=*/0, s_heavy, /*seed=*/211,
+                             small_batch);
+    Report(json, "naive_msgheavy", "engine", k, small_batch, single);
+    BackendResult last;
+    for (int shards : shard_sweep) {
+      last = RunNaiveMessageHeavy(w, k, shards, s_heavy, /*seed=*/211,
+                                  small_batch);
+      Report(json, "naive_msgheavy", "sharded", k, small_batch, last, shards);
+    }
+    bench::Row("    -> sharded(S=%d)/single-coordinator on message-heavy: "
+               "%.2fx",
+               shard_sweep.back(),
+               last.items_per_sec / single.items_per_sec);
+  }
+
+  // The paper protocol on the same sharded topology: message-LIGHT by
+  // design, so sharding is expected to be ~neutral here — the row exists
+  // to pin that sharding costs nothing when the coordinator is idle.
+  {
+    const int k = 16;
+    const Workload w = bench::ZipfWorkload(k, n, /*seed=*/7 + k);
+    for (int shards : shard_sweep) {
+      Report(json, "zipf", "sharded", k, batch,
+             RunShardedWswor(w, k, shards, s, /*seed=*/101, batch), shards);
+    }
+  }
+
   const std::string path = json.Write();
   bench::Row("wrote %s", path.c_str());
   return 0;
@@ -160,5 +315,12 @@ int Main(bool quick) {
 }  // namespace dwrs
 
 int main(int argc, char** argv) {
-  return dwrs::Main(dwrs::bench::QuickMode(argc, argv));
+  int shards_filter = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      shards_filter = std::atoi(arg.c_str() + 9);
+    }
+  }
+  return dwrs::Main(dwrs::bench::QuickMode(argc, argv), shards_filter);
 }

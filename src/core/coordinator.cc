@@ -91,6 +91,19 @@ std::vector<sim::Payload> WsworCoordinator::ResyncMessages() const {
   return out;
 }
 
+MergeableSample WsworCoordinator::ShardSample() const {
+  MergeableSample out;
+  out.kind = SampleKind::kTopKey;
+  out.target_size = static_cast<size_t>(config_.sample_size);
+  out.entries.reserve(sample_.size());
+  for (const auto& e : sample_.entries()) {
+    out.entries.push_back(KeyedItem{e.value, e.key});
+  }
+  out.withheld = levels_.WithheldLeveledEntries();
+  out.level_counts = levels_.LevelCounts();
+  return out;
+}
+
 std::vector<KeyedItem> WsworCoordinator::Sample() const {
   std::vector<KeyedItem> merged;
   merged.reserve(sample_.size() + levels_.StoredEntries());

@@ -36,6 +36,14 @@ class WsworCoordinator : public sim::CoordinatorNode {
 
   void OnMessage(int site, const sim::Payload& msg) override;
 
+  // Mergeable shard summary: S as top-key entries, D as level-tagged
+  // withheld entries with per-level counts. Merging the summaries of
+  // shard coordinators over disjoint site subsets yields exactly the
+  // sample a single coordinator over all sites would answer with (each
+  // item's key is drawn once, at its one shard; see
+  // sampling/mergeable_sample.h for the thinning argument).
+  MergeableSample ShardSample() const override;
+
   // The continuously maintained weighted SWOR: top-s keys of S ∪ D,
   // descending by key; fewer than s entries only while fewer than s items
   // have been observed. See the threading contract above: callers must

@@ -65,6 +65,26 @@ std::vector<KeyedItem> LevelSetManager::WithheldEntries() const {
   return out;
 }
 
+std::vector<LeveledKeyedItem> LevelSetManager::WithheldLeveledEntries() const {
+  std::vector<LeveledKeyedItem> out;
+  out.reserve(heap_.size());
+  for (const auto& e : heap_.entries()) {
+    out.push_back(LeveledKeyedItem{KeyedItem{e.value.item, e.key},
+                                   e.value.level});
+  }
+  return out;
+}
+
+std::vector<LevelCount> LevelSetManager::LevelCounts() const {
+  std::vector<LevelCount> out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) {
+      out.push_back(LevelCount{static_cast<int>(i), counts_[i]});
+    }
+  }
+  return out;
+}
+
 std::vector<int> LevelSetManager::SaturatedLevels() const {
   std::vector<int> out;
   for (size_t i = 0; i < saturated_.size(); ++i) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sampling/keyed_item.h"
+#include "sampling/mergeable_sample.h"
 #include "sampling/top_key_heap.h"
 #include "stream/item.h"
 
@@ -39,6 +40,13 @@ class LevelSetManager {
   // Withheld entries currently stored (keys included) — the D-side
   // candidates merged into every query answer.
   std::vector<KeyedItem> WithheldEntries() const;
+
+  // The same entries tagged with their levels, plus the per-level arrival
+  // counts — the level-set half of a mergeable shard summary
+  // (sampling/mergeable_sample.h): entries merge by level and re-thin,
+  // counts compose by summation.
+  std::vector<LeveledKeyedItem> WithheldLeveledEntries() const;
+  std::vector<LevelCount> LevelCounts() const;  // nonzero levels, ascending
 
   uint64_t CountInLevel(int level) const;
   uint64_t capacity() const { return capacity_; }

@@ -55,6 +55,17 @@ void NaiveWsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
   sample_.Offer(msg.y, Item{msg.a, msg.x});
 }
 
+MergeableSample NaiveWsworCoordinator::ShardSample() const {
+  MergeableSample out;
+  out.kind = SampleKind::kTopKey;
+  out.target_size = sample_.capacity();
+  out.entries.reserve(sample_.size());
+  for (const auto& e : sample_.entries()) {
+    out.entries.push_back(KeyedItem{e.value, e.key});
+  }
+  return out;
+}
+
 std::vector<KeyedItem> NaiveWsworCoordinator::Sample() const {
   std::vector<KeyedItem> out;
   for (const auto& e : sample_.SortedDescending()) {

@@ -59,6 +59,10 @@ class NaiveWsworCoordinator : public sim::CoordinatorNode {
 
   void OnMessage(int site, const sim::Payload& msg) override;
 
+  // Mergeable shard summary: the plain top-key heap (no level sets) —
+  // the naive baseline shards trivially, by the same key argument.
+  MergeableSample ShardSample() const override;
+
   std::vector<KeyedItem> Sample() const;
 
  private:

@@ -14,14 +14,18 @@
 //   swor estimators           — subset sums from the coordinator sample
 //   engine::Engine            — concurrent execution backend (threaded
 //                               sites, batched ingestion; src/engine/)
+//   engine::ShardedEngine     — sharded multi-coordinator topology with
+//   ShardedWswor                exact sample merge (MergeableSample)
 //   faults::FaultyRun         — deterministic fault injection + crash/
-//                               loss-tolerant session layer (src/faults/)
+//   faults::ShardedFaultyRun    loss-tolerant session layer (src/faults/)
 
 #ifndef DWRS_DWRS_H_
 #define DWRS_DWRS_H_
 
 #include "core/naive.h"
+#include "core/sharded_sampler.h"
 #include "engine/engine.h"
+#include "engine/sharded_engine.h"
 #include "core/sampler.h"
 #include "estimators/swor_estimators.h"
 #include "faults/harness.h"

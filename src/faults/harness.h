@@ -36,7 +36,9 @@
 #include "faults/session.h"
 #include "l1/l1_tracker.h"
 #include "random/rng.h"
+#include "sampling/mergeable_sample.h"
 #include "sim/runtime.h"
+#include "stream/sharding.h"
 #include "stream/workload.h"
 #include "unweighted/distributed_swor.h"
 #include "util/check.h"
@@ -309,6 +311,113 @@ class FaultyRun {
 using FaultyWswor = FaultyRun<WsworFaultTraits>;
 using FaultyUswor = FaultyRun<UsworFaultTraits>;
 using FaultyL1 = FaultyRun<L1FaultTraits>;
+
+// --- sharded harness --------------------------------------------------
+//
+// One full reliability stack PER SHARD: every shard coordinator channel
+// gets its own FaultyTransport, CoordinatorSession, and site sessions,
+// so crash/loss semantics are per-shard — a crashed or lossy shard
+// degrades (and flags) only its own slice of the merged sample, and a
+// clean shard's slice stays exact regardless of its siblings. The global
+// workload is split by the shared ShardTopology (local site indices,
+// per-shard arrival order preserved); shard runs replay each other's
+// transcripts bit for bit whether executed sequentially or interleaved,
+// because shards share no state and every fault decision is a function
+// of per-shard counters only.
+template <typename Traits>
+class ShardedFaultyRun {
+ public:
+  using Config = typename Traits::Config;
+  using Coordinator = typename Traits::Coordinator;
+
+  // `config.num_sites` is the global k; `shard_faults[j]` is shard j's
+  // fault schedule (one entry per shard — faults are per-shard state).
+  // Shard protocol seeds derive from the global seed via ShardSeed.
+  ShardedFaultyRun(const Config& config,
+                   const std::vector<FaultConfig>& shard_faults,
+                   Backend backend)
+      : topology_(Traits::NumSites(config),
+                  static_cast<int>(shard_faults.size())) {
+    shards_.reserve(shard_faults.size());
+    for (int shard = 0; shard < topology_.num_shards(); ++shard) {
+      Config shard_config = config;
+      shard_config.num_sites = topology_.SiteCount(shard);
+      shard_config.seed = ShardSeed(Traits::Seed(config), shard);
+      shards_.push_back(std::make_unique<FaultyRun<Traits>>(
+          shard_config, shard_faults[static_cast<size_t>(shard)], backend));
+    }
+  }
+
+  // Streams the global workload shard by shard (each shard reconciles at
+  // its own end of stream). Querying is legal afterwards.
+  void Run(const Workload& workload) {
+    const std::vector<Workload> splits = SplitByShard(workload, topology_);
+    for (int shard = 0; shard < topology_.num_shards(); ++shard) {
+      shards_[static_cast<size_t>(shard)]->Run(
+          splits[static_cast<size_t>(shard)]);
+    }
+  }
+
+  // Aggregated over shards; `clean` iff every shard is clean, and
+  // `transcript_hash` folds the per-shard hashes in shard order.
+  RunReport report() const {
+    RunReport out;
+    out.transcript_hash = 1469598103934665603ull;  // FNV offset basis
+    out.clean = true;
+    for (const auto& shard : shards_) {
+      const RunReport r = shard->report();
+      for (int b = 0; b < 64; b += 8) {
+        out.transcript_hash ^= (r.transcript_hash >> b) & 0xffull;
+        out.transcript_hash *= 1099511628211ull;  // FNV prime
+      }
+      out.delivered += r.delivered;
+      out.crashes += r.crashes;
+      out.crash_detections += r.crash_detections;
+      out.resyncs_sent += r.resyncs_sent;
+      out.lost_unacked += r.lost_unacked;
+      out.items_lost += r.items_lost;
+      out.duplicates_dropped += r.duplicates_dropped;
+      out.gaps_detected += r.gaps_detected;
+      out.nacks_sent += r.nacks_sent;
+      out.clean = out.clean && r.clean;
+    }
+    return out;
+  }
+
+  // Root merge of the shard coordinators' summaries.
+  MergeableSample MergedSample() const {
+    std::vector<MergeableSample> summaries;
+    summaries.reserve(shards_.size());
+    for (size_t shard = 0; shard < shards_.size(); ++shard) {
+      summaries.push_back(
+          sim::CheckedShardSummary(&shards_[shard]->coordinator(), shard));
+    }
+    return MergeShardSamples(summaries);
+  }
+
+  std::vector<uint64_t> MergedSampleIds() const {
+    std::vector<uint64_t> ids;
+    for (const KeyedItem& ki : MergedSample().TopEntries()) {
+      ids.push_back(ki.item.id);
+    }
+    return ids;
+  }
+
+  FaultyRun<Traits>& shard(int j) {
+    return *shards_[static_cast<size_t>(j)];
+  }
+  const FaultyRun<Traits>& shard(int j) const {
+    return *shards_[static_cast<size_t>(j)];
+  }
+  const ShardTopology& topology() const { return topology_; }
+
+ private:
+  ShardTopology topology_;
+  std::vector<std::unique_ptr<FaultyRun<Traits>>> shards_;
+};
+
+using ShardedFaultyWswor = ShardedFaultyRun<WsworFaultTraits>;
+using ShardedFaultyUswor = ShardedFaultyRun<UsworFaultTraits>;
 
 // The deterministic set of item ids that reach a live site under
 // `schedule` (everything except arrivals inside crash-down windows),

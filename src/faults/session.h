@@ -159,6 +159,13 @@ class CoordinatorSession : public sim::CoordinatorNode {
 
   void OnMessage(int site, const sim::Payload& msg) override;
 
+  // The session is transparent to the root merge stage: a sharded
+  // backend attached to sessions still answers MergedSample queries with
+  // the inner coordinators' summaries.
+  MergeableSample ShardSample() const override {
+    return inner_->ShardSample();
+  }
+
   // --- introspection ---------------------------------------------------
   // FNV-1a fold of every in-order delivered message (site, stamps and
   // payload bits included): the replayable transcript. Two runs are

@@ -126,6 +126,25 @@ double L1EstimateFromThreshold(const L1TrackerConfig& config, double u) {
          static_cast<double>(config.Duplication());
 }
 
+MergeableSample L1ShardEstimate(const L1TrackerConfig& config,
+                                const WsworCoordinator& coordinator) {
+  MergeableSample out;
+  out.kind = SampleKind::kScalarSum;
+  out.scalar = L1EstimateFromThreshold(config, coordinator.Threshold());
+  return out;
+}
+
+double ShardedL1Estimate(const L1TrackerConfig& config,
+                         const std::vector<const WsworCoordinator*>& shards) {
+  std::vector<MergeableSample> summaries;
+  summaries.reserve(shards.size());
+  for (const WsworCoordinator* coordinator : shards) {
+    DWRS_CHECK(coordinator != nullptr);
+    summaries.push_back(L1ShardEstimate(config, *coordinator));
+  }
+  return MergeShardSamples(summaries).scalar;
+}
+
 double Theorem6MessageBound(int num_sites, double eps, double delta,
                             double total_weight) {
   const double k = num_sites;

@@ -104,6 +104,19 @@ double L1EstimateFromThreshold(const L1TrackerConfig& config, double u);
 // single source of truth for L1Tracker and the fault harness.
 WsworConfig L1CoordinatorConfig(const L1TrackerConfig& config);
 
+// Sharded L1: a shard's mergeable summary is its scalar estimate
+// W-hat_j = s * u_j / ell over its own site subset, and shard estimates
+// compose by SUMMATION — each shard errs by at most eps * W_j on its
+// share of the mass, so the sum is a (1 +/- eps) estimate of the global
+// W. (The per-shard u is NOT mergeable into a global u: shards duplicate
+// independently, so their key populations estimate disjoint masses.)
+MergeableSample L1ShardEstimate(const L1TrackerConfig& config,
+                                const WsworCoordinator& coordinator);
+
+// Convenience: merge the per-shard summaries and return the summed W-hat.
+double ShardedL1Estimate(const L1TrackerConfig& config,
+                         const std::vector<const WsworCoordinator*>& shards);
+
 // This work's Theorem 6 bound (up to constants):
 // (k/log k + log(1/delta)/eps^2) * log(eps*W).
 double Theorem6MessageBound(int num_sites, double eps, double delta,

@@ -1,0 +1,125 @@
+#include "sampling/mergeable_sample.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dwrs {
+
+namespace {
+
+// Descending by key, ascending by id on (probability-zero) ties: the one
+// deterministic order every consumer of a merged sample sees.
+bool KeyedDescending(const KeyedItem& a, const KeyedItem& b) {
+  if (a.key != b.key) return a.key > b.key;
+  return a.item.id < b.item.id;
+}
+
+bool LeveledDescending(const LeveledKeyedItem& a, const LeveledKeyedItem& b) {
+  return KeyedDescending(a.entry, b.entry);
+}
+
+void TruncateTop(std::vector<KeyedItem>& v, size_t target) {
+  std::sort(v.begin(), v.end(), KeyedDescending);
+  if (v.size() > target) v.resize(target);
+}
+
+}  // namespace
+
+std::vector<KeyedItem> MergeableSample::TopEntries() const {
+  std::vector<KeyedItem> out;
+  switch (kind) {
+    case SampleKind::kEmpty:
+    case SampleKind::kScalarSum:
+      break;
+    case SampleKind::kTopKey: {
+      out.reserve(entries.size() + withheld.size());
+      out = entries;
+      for (const LeveledKeyedItem& le : withheld) out.push_back(le.entry);
+      TruncateTop(out, target_size);
+      break;
+    }
+    case SampleKind::kSlotMin: {
+      for (const Slot& slot : slots) {
+        if (slot.filled) out.push_back(KeyedItem{slot.item, slot.key});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+uint64_t MergeableSample::LevelCountOf(int level) const {
+  for (const LevelCount& lc : level_counts) {
+    if (lc.level == level) return lc.count;
+  }
+  return 0;
+}
+
+MergeableSample MergeShardSamples(const std::vector<MergeableSample>& shards) {
+  MergeableSample out;
+  for (const MergeableSample& shard : shards) {
+    if (shard.kind == SampleKind::kEmpty) continue;
+    if (out.kind == SampleKind::kEmpty) {
+      out.kind = shard.kind;
+      out.target_size = shard.target_size;
+      if (shard.kind == SampleKind::kSlotMin) {
+        out.slots.resize(shard.target_size);
+      }
+    }
+    DWRS_CHECK(shard.kind == out.kind) << " mixed sample kinds in merge";
+    DWRS_CHECK_EQ(shard.target_size, out.target_size);
+
+    switch (shard.kind) {
+      case SampleKind::kEmpty:
+        break;
+      case SampleKind::kTopKey: {
+        out.entries.insert(out.entries.end(), shard.entries.begin(),
+                           shard.entries.end());
+        out.withheld.insert(out.withheld.end(), shard.withheld.begin(),
+                            shard.withheld.end());
+        for (const LevelCount& lc : shard.level_counts) {
+          auto it = std::lower_bound(
+              out.level_counts.begin(), out.level_counts.end(), lc.level,
+              [](const LevelCount& a, int level) { return a.level < level; });
+          if (it != out.level_counts.end() && it->level == lc.level) {
+            it->count += lc.count;
+          } else {
+            out.level_counts.insert(it, lc);
+          }
+        }
+        break;
+      }
+      case SampleKind::kSlotMin: {
+        DWRS_CHECK_EQ(shard.slots.size(), out.slots.size());
+        for (size_t i = 0; i < shard.slots.size(); ++i) {
+          const MergeableSample::Slot& slot = shard.slots[i];
+          if (!slot.filled) continue;
+          MergeableSample::Slot& merged = out.slots[i];
+          if (!merged.filled || slot.key < merged.key) merged = slot;
+        }
+        break;
+      }
+      case SampleKind::kScalarSum:
+        out.scalar += shard.scalar;
+        break;
+    }
+  }
+
+  if (out.kind == SampleKind::kTopKey) {
+    // Re-thin: only the top-target_size released candidates and the
+    // top-target_size withheld candidates can ever appear in a sample of
+    // any further merge (each discard is beaten by target_size survivors
+    // of its own class, and survivors never leave) — the cross-shard
+    // Proposition 6, keeping merged summaries O(s) no matter how many
+    // shards fold in.
+    TruncateTop(out.entries, out.target_size);
+    std::sort(out.withheld.begin(), out.withheld.end(), LeveledDescending);
+    if (out.withheld.size() > out.target_size) {
+      out.withheld.resize(out.target_size);
+    }
+  }
+  return out;
+}
+
+}  // namespace dwrs

@@ -1,0 +1,105 @@
+// Mergeable shard summaries: the compact, exactly-composable sample
+// state a shard coordinator exports at a quiesce point, and the merge
+// operator that combines any number of shard summaries into the summary
+// (and hence the sample) a single coordinator over the union of the
+// shards' streams would answer with — distribution-exact, because every
+// sampler in this repository is key-based and each item's key is drawn
+// exactly once, at exactly one shard:
+//
+//   kTopKey    — keep the target_size entries with the LARGEST stored
+//                keys across shards (weighted SWOR's v = w/Exp(1) keys;
+//                the unweighted substrate stores its uniform keys
+//                NEGATED, so the same max-order merge realizes its
+//                min-key semantics). Level-tagged withheld entries merge
+//                by level (per-level counts are summed) and are then
+//                re-thinned to the global top-target_size — Proposition
+//                6's compaction applied across shards: an entry beaten
+//                by target_size other *withheld* entries can never reach
+//                any merged sample, no matter what merges later.
+//   kSlotMin   — per-race minimum (sampling with replacement: Theorem
+//                1's s independent races); merge takes the slot-wise
+//                key minimum.
+//   kScalarSum — a scalar that composes by summation (the sharded L1
+//                tracker: per-shard W-hat estimates sum to a global
+//                (1 +/- eps) W-hat, since each shard errs by at most
+//                eps times its own share of the mass).
+//
+// The merge is associative and commutative up to floating-point key
+// ties (keys are continuous, so exact ties have probability zero; the
+// deterministic (key, id) order makes even the tie case reproducible),
+// which is what lets a root stage combine shard samples pairwise, in
+// one pass, or hierarchically — the mergeable-summary property that
+// makes the sharded topology exact rather than approximate.
+
+#ifndef DWRS_SAMPLING_MERGEABLE_SAMPLE_H_
+#define DWRS_SAMPLING_MERGEABLE_SAMPLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sampling/keyed_item.h"
+#include "stream/item.h"
+
+namespace dwrs {
+
+// A withheld (level-set) entry tagged with its level (Definition 4).
+struct LeveledKeyedItem {
+  KeyedItem entry;
+  int level = -1;
+};
+
+// Arrival count of one level set, summed across shards by the merge.
+struct LevelCount {
+  int level = 0;
+  uint64_t count = 0;
+};
+
+enum class SampleKind : uint8_t {
+  kEmpty = 0,   // coordinator exports no mergeable state
+  kTopKey,      // top-target_size entries by key (+ optional level sets)
+  kSlotMin,     // per-slot key minimum (SWR races)
+  kScalarSum,   // scalar composing by summation
+};
+
+struct MergeableSample {
+  SampleKind kind = SampleKind::kEmpty;
+  // kTopKey: the sample size s. kSlotMin: the number of races.
+  size_t target_size = 0;
+
+  // kTopKey: released/regular candidates (shard coordinator's S).
+  std::vector<KeyedItem> entries;
+  // kTopKey: withheld candidates with their levels (shard's D), plus the
+  // per-level arrival counts backing the saturation bookkeeping.
+  std::vector<LeveledKeyedItem> withheld;
+  std::vector<LevelCount> level_counts;  // ascending by level
+
+  // kSlotMin: one slot per race; unfilled slots lose every merge.
+  struct Slot {
+    bool filled = false;
+    double key = 0.0;
+    Item item;
+  };
+  std::vector<Slot> slots;
+
+  // kScalarSum.
+  double scalar = 0.0;
+
+  // The merged sample this summary answers queries with: kTopKey — the
+  // top-target_size of entries ∪ withheld, descending by stored key (ties
+  // by ascending id); kSlotMin — the filled slots in race order (key =
+  // the race minimum); empty for kScalarSum/kEmpty.
+  std::vector<KeyedItem> TopEntries() const;
+
+  // Total arrivals recorded in level_counts for `level` (0 if absent).
+  uint64_t LevelCountOf(int level) const;
+};
+
+// Exact merge of shard summaries. All non-empty inputs must agree on
+// kind and target_size; kEmpty inputs are ignored (identity element).
+// The result is again a valid shard summary, so merging nests.
+MergeableSample MergeShardSamples(const std::vector<MergeableSample>& shards);
+
+}  // namespace dwrs
+
+#endif  // DWRS_SAMPLING_MERGEABLE_SAMPLE_H_

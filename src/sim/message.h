@@ -43,6 +43,17 @@ struct MessageStats {
 
   uint64_t total_messages() const { return site_to_coord + coord_to_site; }
 
+  // Field-wise accumulation — the one definition the sharded backends'
+  // aggregate views sum through.
+  MessageStats& operator+=(const MessageStats& o) {
+    site_to_coord += o.site_to_coord;
+    coord_to_site += o.coord_to_site;
+    broadcast_events += o.broadcast_events;
+    words += o.words;
+    for (size_t i = 0; i < by_type.size(); ++i) by_type[i] += o.by_type[i];
+    return *this;
+  }
+
   std::string ToString() const;
 };
 

@@ -19,8 +19,10 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sampling/mergeable_sample.h"
 #include "sim/message.h"
 #include "stream/item.h"
+#include "util/check.h"
 
 namespace dwrs::sim {
 
@@ -98,7 +100,30 @@ class CoordinatorNode {
  public:
   virtual ~CoordinatorNode() = default;
   virtual void OnMessage(int site, const Payload& msg) = 0;
+  // Mergeable shard summary (sampling/mergeable_sample.h): the compact
+  // state a root merge stage combines across shard coordinators into an
+  // exact global sample. Legal at the same points as any other query
+  // (quiesce points; see the threading contract in core/coordinator.h).
+  // Coordinators without mergeable state report kEmpty, which merges as
+  // the identity.
+  virtual MergeableSample ShardSample() const { return {}; }
 };
+
+// The validated per-shard summary every sharded backend's root merge
+// collects: the coordinator must be attached and must export mergeable
+// state — a kEmpty summary would silently drop the shard's slice from
+// the merged sample, an invisible wrong answer.
+inline MergeableSample CheckedShardSummary(const CoordinatorNode* node,
+                                           size_t shard) {
+  DWRS_CHECK(node != nullptr) << " shard " << shard
+                              << " coordinator not attached";
+  MergeableSample summary = node->ShardSample();
+  DWRS_CHECK(summary.kind != SampleKind::kEmpty)
+      << " shard " << shard
+      << "'s coordinator exports no mergeable summary (protocol not "
+         "shardable?)";
+  return summary;
+}
 
 }  // namespace dwrs::sim
 

@@ -1,0 +1,31 @@
+#include "stream/sharding.h"
+
+namespace dwrs {
+
+std::vector<Workload> SplitByShard(const Workload& workload,
+                                   const ShardTopology& topology) {
+  DWRS_CHECK_EQ(workload.num_sites(), topology.num_sites());
+  std::vector<std::vector<WorkloadEvent>> events(
+      static_cast<size_t>(topology.num_shards()));
+  for (const WorkloadEvent& event : workload.events()) {
+    const int shard = topology.ShardOf(event.site);
+    events[static_cast<size_t>(shard)].push_back(
+        WorkloadEvent{topology.LocalOf(event.site), event.item});
+  }
+  std::vector<Workload> out;
+  out.reserve(events.size());
+  for (int shard = 0; shard < topology.num_shards(); ++shard) {
+    out.emplace_back(topology.SiteCount(shard),
+                     std::move(events[static_cast<size_t>(shard)]));
+  }
+  return out;
+}
+
+uint64_t ShardSeed(uint64_t base, int shard) {
+  uint64_t z = base + 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(shard) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace dwrs

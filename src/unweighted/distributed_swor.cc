@@ -107,6 +107,27 @@ std::vector<Item> UsworCoordinator::Sample() const {
   return out;
 }
 
+MergeableSample UsworCoordinator::ShardSample() const {
+  MergeableSample out;
+  out.kind = SampleKind::kTopKey;
+  out.target_size = static_cast<size_t>(config_.sample_size);
+  out.entries.reserve(smallest_.size());
+  // Stored keys are already negated uniforms; exporting them unchanged
+  // makes the max-order merge a min-key merge on the true keys.
+  for (const auto& e : smallest_.entries()) {
+    out.entries.push_back(KeyedItem{e.value, e.key});
+  }
+  return out;
+}
+
+std::vector<Item> UsworSampleFromMerged(const MergeableSample& merged) {
+  std::vector<Item> out;
+  // TopEntries sorts stored (negated) keys descending = true keys
+  // ascending, matching UsworCoordinator::Sample's order.
+  for (const KeyedItem& ki : merged.TopEntries()) out.push_back(ki.item);
+  return out;
+}
+
 DistributedUnweightedSwor::DistributedUnweightedSwor(const UsworConfig& config)
     : config_(config), runtime_(config.num_sites, config.delivery_delay) {
   Rng master(config.seed);

@@ -74,6 +74,12 @@ class UsworCoordinator : public sim::CoordinatorNode {
 
   void OnMessage(int site, const sim::Payload& msg) override;
 
+  // Mergeable shard summary. Keys are stored NEGATED (key' = -u), so the
+  // max-order kTopKey merge keeps the s SMALLEST uniform keys — the
+  // min-key merge this protocol needs. Extract items via
+  // UsworSampleFromMerged.
+  MergeableSample ShardSample() const override;
+
   // Current unweighted SWOR (size min(t, s)).
   std::vector<Item> Sample() const;
 
@@ -91,6 +97,10 @@ class UsworCoordinator : public sim::CoordinatorNode {
   TopKeyHeap<Item> smallest_;  // keyed by -u so the heap keeps min keys
   double tau_hat_ = 1.0;
 };
+
+// Items of a merged unweighted shard summary, ascending by true uniform
+// key (the order UsworCoordinator::Sample reports).
+std::vector<Item> UsworSampleFromMerged(const MergeableSample& merged);
 
 class DistributedUnweightedSwor {
  public:

@@ -109,6 +109,19 @@ void SlottedSwrCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
   }
 }
 
+MergeableSample SlottedSwrCoordinator::ShardSample() const {
+  MergeableSample out;
+  out.kind = SampleKind::kSlotMin;
+  out.target_size = races_.size();
+  out.slots.resize(races_.size());
+  for (size_t i = 0; i < races_.size(); ++i) {
+    const Race& race = races_[i];
+    if (!race.filled) continue;
+    out.slots[i] = MergeableSample::Slot{true, race.min_key, race.item};
+  }
+  return out;
+}
+
 std::vector<Item> SlottedSwrCoordinator::Sample() const {
   std::vector<Item> out;
   for (const Race& race : races_) {

@@ -65,6 +65,11 @@ class SlottedSwrCoordinator : public sim::CoordinatorNode {
 
   void OnMessage(int site, const sim::Payload& msg) override;
 
+  // Mergeable shard summary: one slot per race holding the shard's
+  // current race minimum; merging takes the slot-wise minimum, which is
+  // exactly the global per-race winner (min of mins).
+  MergeableSample ShardSample() const override;
+
   // One item per race; empty until the first item arrives.
   std::vector<Item> Sample() const;
 

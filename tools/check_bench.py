@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares the BENCH_*.json rows emitted by a --quick bench run against the
+committed bench/baseline.json and fails (exit 1) when any gated
+throughput metric drops by more than the allowed fraction. Run from CI
+after the bench-quick jobs, or locally:
+
+    python3 tools/check_bench.py --build-dir build
+    python3 tools/check_bench.py --build-dir build --update   # re-baseline
+
+Baseline schema (bench/baseline.json):
+
+    {
+      "max_drop": 0.25,
+      "benches": {
+        "<bench name>": {
+          "key_fields":  ["endpoint", "path"],      # row identity
+          "gate_fields": ["items_per_sec"],         # higher is better
+          "max_drop": 0.6,                          # optional override
+          "rows": [ {<key fields + gate fields>}, ... ]
+        }
+      }
+    }
+
+A bench-level "max_drop" overrides the global one: single-threaded
+micro-benches are stable and keep the tight default, while wall-clock
+throughput of a 17-thread engine on a shared CI runner needs a wider
+band — wide tolerances still catch the real cliffs (an accidental -O0
+bench build is a 5-10x drop).
+
+Rows are matched on the exact values of key_fields; a baseline row with
+no matching current row is an error (a silently vanished measurement is
+itself a regression). Current rows absent from the baseline are reported
+but do not fail the gate — run --update after intentionally adding rows.
+CI runners are noisy and heterogeneous, so the default tolerance is
+deliberately loose (25%): the gate exists to catch real cliffs (a bench
+accidentally built -O0, a lock added to a hot path), not 5% jitter.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def row_key(row, key_fields):
+    return tuple((k, row.get(k)) for k in key_fields)
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def index_rows(rows, key_fields):
+    out = {}
+    for row in rows:
+        key = row_key(row, key_fields)
+        if key in out:
+            raise SystemExit(f"duplicate row key {fmt_key(key)}; "
+                             "key_fields do not uniquely identify rows")
+        out[key] = row
+    return out
+
+
+def check(baseline, build_dir):
+    failures = []
+    notes = []
+    for name, spec in baseline["benches"].items():
+        max_drop = float(spec.get("max_drop", baseline.get("max_drop", 0.25)))
+        path = os.path.join(build_dir, f"BENCH_{name}.json")
+        if not os.path.exists(path):
+            failures.append(f"{name}: {path} not found — bench did not run")
+            continue
+        current = index_rows(load_json(path)["rows"], spec["key_fields"])
+        base = index_rows(spec["rows"], spec["key_fields"])
+        for key, base_row in base.items():
+            cur_row = current.get(key)
+            if cur_row is None:
+                failures.append(f"{name}: row [{fmt_key(key)}] missing "
+                                "from current run")
+                continue
+            for field in spec["gate_fields"]:
+                base_value = base_row.get(field)
+                cur_value = cur_row.get(field)
+                if base_value is None:
+                    continue
+                if cur_value is None:
+                    failures.append(f"{name}: [{fmt_key(key)}] {field} "
+                                    "missing from current run")
+                    continue
+                floor = base_value * (1.0 - max_drop)
+                ratio = cur_value / base_value if base_value else float("inf")
+                line = (f"{name}: [{fmt_key(key)}] {field} "
+                        f"{cur_value:.3g} vs baseline {base_value:.3g} "
+                        f"({ratio:.2f}x)")
+                if cur_value < floor:
+                    failures.append("DROP  " + line)
+                else:
+                    notes.append("ok    " + line)
+        for key in current:
+            if key not in base:
+                notes.append(f"new   {name}: [{fmt_key(key)}] not in "
+                             "baseline (run --update to gate it)")
+    return failures, notes
+
+
+def update(baseline, build_dir, baseline_path):
+    for name, spec in baseline["benches"].items():
+        path = os.path.join(build_dir, f"BENCH_{name}.json")
+        if not os.path.exists(path):
+            print(f"warning: {path} not found — keeping {name}'s "
+                  "baseline rows unchanged")
+            continue
+        kept_fields = spec["key_fields"] + spec["gate_fields"]
+        # Merge by key rather than replace: a restricted run (e.g.
+        # bench_engine_throughput --shards=2) must not silently un-gate
+        # the rows it didn't produce.
+        merged = index_rows(spec["rows"], spec["key_fields"])
+        for row in load_json(path)["rows"]:
+            merged[row_key(row, spec["key_fields"])] = {
+                k: row[k] for k in kept_fields if k in row}
+        spec["rows"] = list(merged.values())
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=1)
+        f.write("\n")
+    print(f"baseline updated: {baseline_path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="directory holding the BENCH_*.json outputs")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: bench/baseline.json "
+                             "next to this script's repo root)")
+    parser.add_argument("--max-drop", type=float, default=None,
+                        help="override the allowed fractional throughput "
+                             "drop everywhere, including benches with "
+                             "their own max_drop")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current run")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = args.baseline or os.path.join(repo_root, "bench",
+                                                  "baseline.json")
+    baseline = load_json(baseline_path)
+    if args.max_drop is not None:
+        baseline["max_drop"] = args.max_drop
+        for spec in baseline["benches"].values():
+            spec.pop("max_drop", None)  # the flag overrides every tier
+
+    if args.update:
+        update(baseline, args.build_dir, baseline_path)
+        return 0
+
+    failures, notes = check(baseline, args.build_dir)
+    for line in notes:
+        print(line)
+    for line in failures:
+        print(line, file=sys.stderr)
+    if failures:
+        print(f"\nbench gate FAILED: {len(failures)} regression(s) beyond "
+              "tolerance", file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed ({len(notes)} measurements within "
+          "tolerance of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
