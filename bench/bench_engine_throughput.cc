@@ -20,19 +20,29 @@
 // where sharding is expected to be ~neutral. `--shards=N` restricts the
 // sweep to one shard count.
 //
+// E13 — live query serving (src/query/): a reader thread hammers the
+// lock-free QueryService while the sharded engine ingests at full
+// speed. Measured: the ingest throughput retained under continuous
+// querying, the sustained query rate, and the mean query latency.
+//
 // Results are written to BENCH_engine_throughput.json (schema: name,
 // params, rows[workload, backend, k, batch_size, shards, items_per_sec,
-// messages, ...]).
+// messages, ...]; the live_query row adds queries_per_sec and
+// query_us_mean).
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/sharded_sampler.h"
 #include "engine/engine.h"
 #include "engine/sharded_engine.h"
+#include "query/live.h"
+#include "query/query_service.h"
 
 namespace dwrs {
 namespace {
@@ -190,6 +200,50 @@ BackendResult RunNaiveMessageHeavy(const Workload& w, int k, int shards,
   return result;
 }
 
+// The live-query row: sharded engine ingesting `w` while one dedicated
+// reader loops QueryService::Query() flat out. Query throughput and the
+// single-reader mean latency ride along in the result.
+BackendResult RunLiveQuery(const Workload& w, int k, int shards, int s,
+                           uint64_t seed, size_t batch_size,
+                           double* queries_per_sec, double* query_us_mean) {
+  const WsworConfig config{.num_sites = k, .sample_size = s, .seed = seed};
+  engine::ShardedEngineConfig engine_config;
+  engine_config.num_sites = k;
+  engine_config.num_shards = shards;
+  engine_config.shard.batch_size = batch_size;
+  engine::ShardedEngine eng(engine_config);
+  const ShardedWsworEndpoints endpoints = AttachShardedWswor(config, eng);
+  const std::unique_ptr<query::LiveShardPublishers> publishers =
+      query::EnableWsworLiveQueries(eng, endpoints);
+  query::QueryService service(publishers->views());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::thread reader([&service, &stop, &queries] {
+    while (!stop.load(std::memory_order_acquire)) {
+      query::QueryResult result = service.Query();
+      (void)result;
+      queries.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  const double t0 = Now();
+  eng.Run(w);
+  const double t1 = Now();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  BackendResult result;
+  result.seconds = t1 - t0;
+  result.items_per_sec = static_cast<double>(w.size()) / (t1 - t0);
+  result.messages = eng.AggregateMessageSnapshot().total_messages();
+  result.per_shard_messages = JoinCounts(eng.PerShardMessages());
+  const double q = static_cast<double>(queries.load());
+  *queries_per_sec = q / (t1 - t0);
+  *query_us_mean = q > 0.0 ? 1e6 * (t1 - t0) / q : 0.0;
+  eng.Shutdown();
+  return result;
+}
+
 void Report(bench::JsonBench& json, const std::string& workload,
             const std::string& backend, int k, size_t batch,
             const BackendResult& r, int shards = 1) {
@@ -304,6 +358,24 @@ int Main(bool quick, int shards_filter) {
       Report(json, "zipf", "sharded", k, batch,
              RunShardedWswor(w, k, shards, s, /*seed=*/101, batch), shards);
     }
+  }
+
+  // E13 — live query latency: continuous lock-free snapshot queries
+  // against the sharded engine mid-ingestion. items_per_sec is the
+  // ingest rate RETAINED while a reader queries flat out; the row also
+  // records the sustained query rate and mean per-query latency.
+  {
+    const int k = 8, shards = 2;
+    const Workload w = bench::ZipfWorkload(k, n, /*seed=*/7 + k);
+    double queries_per_sec = 0.0, query_us_mean = 0.0;
+    const BackendResult live = RunLiveQuery(w, k, shards, s, /*seed=*/101,
+                                            batch, &queries_per_sec,
+                                            &query_us_mean);
+    Report(json, "live_query", "sharded", k, batch, live, shards);
+    json.Field("queries_per_sec", queries_per_sec)
+        .Field("query_us_mean", query_us_mean);
+    bench::Row("    -> live queries: %.0f queries/s, %.1f us mean latency",
+               queries_per_sec, query_us_mean);
   }
 
   const std::string path = json.Write();

@@ -39,6 +39,7 @@ void WsworCoordinator::MaybeAnnounceEpoch() {
 }
 
 void WsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
+  ++state_version_;
   switch (msg.type) {
     case kWsworEarly: {
       ++early_received_;
@@ -95,6 +96,7 @@ MergeableSample WsworCoordinator::ShardSample() const {
   MergeableSample out;
   out.kind = SampleKind::kTopKey;
   out.target_size = static_cast<size_t>(config_.sample_size);
+  out.state_version = state_version_;
   out.entries.reserve(sample_.size());
   for (const auto& e : sample_.entries()) {
     out.entries.push_back(KeyedItem{e.value, e.key});

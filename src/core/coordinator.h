@@ -41,8 +41,15 @@ class WsworCoordinator : public sim::CoordinatorNode {
   // shard coordinators over disjoint site subsets yields exactly the
   // sample a single coordinator over all sites would answer with (each
   // item's key is drawn once, at its one shard; see
-  // sampling/mergeable_sample.h for the thinning argument).
+  // sampling/mergeable_sample.h for the thinning argument). The export
+  // is stamped with StateVersion().
   MergeableSample ShardSample() const override;
+
+  // Advances by one per processed protocol message — the coordinator's
+  // state is a deterministic function of its delivered-message prefix,
+  // so equal versions imply equal state (the property the live-query
+  // snapshot layer keys on).
+  uint64_t StateVersion() const override { return state_version_; }
 
   // The continuously maintained weighted SWOR: top-s keys of S ∪ D,
   // descending by key; fewer than s entries only while fewer than s items
@@ -87,6 +94,7 @@ class WsworCoordinator : public sim::CoordinatorNode {
   int announced_epoch_ = -1;
   uint64_t early_received_ = 0;
   uint64_t regular_received_ = 0;
+  uint64_t state_version_ = 0;
 };
 
 }  // namespace dwrs

@@ -52,6 +52,7 @@ NaiveWsworCoordinator::NaiveWsworCoordinator(int sample_size)
 
 void NaiveWsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
   DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kNaiveCandidate));
+  ++state_version_;
   sample_.Offer(msg.y, Item{msg.a, msg.x});
 }
 
@@ -59,6 +60,7 @@ MergeableSample NaiveWsworCoordinator::ShardSample() const {
   MergeableSample out;
   out.kind = SampleKind::kTopKey;
   out.target_size = sample_.capacity();
+  out.state_version = state_version_;
   out.entries.reserve(sample_.size());
   for (const auto& e : sample_.entries()) {
     out.entries.push_back(KeyedItem{e.value, e.key});

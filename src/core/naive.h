@@ -61,12 +61,16 @@ class NaiveWsworCoordinator : public sim::CoordinatorNode {
 
   // Mergeable shard summary: the plain top-key heap (no level sets) —
   // the naive baseline shards trivially, by the same key argument.
+  // Stamped with StateVersion().
   MergeableSample ShardSample() const override;
+
+  uint64_t StateVersion() const override { return state_version_; }
 
   std::vector<KeyedItem> Sample() const;
 
  private:
   TopKeyHeap<Item> sample_;
+  uint64_t state_version_ = 0;
 };
 
 // Facade mirroring DistributedWswor.

@@ -52,6 +52,10 @@ bool CoordinatorWorker::DrainOnce() {
   bool did_work = false;
   while (inbox_.TryPop(&m)) {
     node_->OnMessage(m.site, m.msg);
+    // Publish before counting the message done: a quiesce waiter that
+    // observes pushed == done is then guaranteed to read a snapshot that
+    // includes this message (see the header comment).
+    if (snapshot_hook_) snapshot_hook_();
     done_.fetch_add(1);
     did_work = true;
   }

@@ -8,6 +8,17 @@
 // Backpressure: the bounded inbox blocks a sending site worker when the
 // coordinator falls behind; the stalled site stops draining its item
 // queue, which eventually blocks the feeder — end-to-end flow control.
+//
+// Snapshot publication: an optional hook runs on this thread after every
+// processed message, BEFORE the message's done-counter increment. The
+// ordering matters: a quiesce waiter observes pushed == done only after
+// the hook for the final message has returned, so at any quiesce point
+// the last published snapshot is the fully-drained coordinator state —
+// the edge the live-query layer's step-synchronous equivalence rests on.
+// Every invocation sees the coordinator at a shard-local quiesce point
+// of its delivered-message prefix (the endpoint is between OnMessage
+// calls), which is what makes the published snapshots valid query
+// states mid-stream.
 
 #ifndef DWRS_ENGINE_COORDINATOR_WORKER_H_
 #define DWRS_ENGINE_COORDINATOR_WORKER_H_
@@ -15,8 +26,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "engine/channels.h"
 #include "sim/node.h"
@@ -31,6 +44,13 @@ class CoordinatorWorker {
 
   CoordinatorWorker(const CoordinatorWorker&) = delete;
   CoordinatorWorker& operator=(const CoordinatorWorker&) = delete;
+
+  // Installs the per-message snapshot hook (see the header comment).
+  // Must be called before Start().
+  void SetSnapshotHook(std::function<void()> hook) {
+    DWRS_CHECK(!thread_.joinable()) << " set the hook before Start()";
+    snapshot_hook_ = std::move(hook);
+  }
 
   void Start();
   void RequestStop();
@@ -55,6 +75,7 @@ class CoordinatorWorker {
 
   sim::CoordinatorNode* const node_;
   QuiesceBus* const bus_;
+  std::function<void()> snapshot_hook_;  // coordinator thread only
   Channel<UpstreamMessage> inbox_;
 
   std::atomic<uint64_t> pushed_{0};

@@ -34,11 +34,17 @@ void Engine::AttachCoordinator(sim::CoordinatorNode* node) {
   coordinator_node_ = node;
 }
 
+void Engine::SetSnapshotHook(std::function<void()> hook) {
+  DWRS_CHECK(!started_) << " install the hook before the first Push/Run/Flush";
+  snapshot_hook_ = std::move(hook);
+}
+
 void Engine::Start() {
   if (started_) return;
   DWRS_CHECK(coordinator_node_ != nullptr) << " no coordinator attached";
   coordinator_worker_ = std::make_unique<CoordinatorWorker>(
       coordinator_node_, config_.message_queue_capacity, &bus_);
+  if (snapshot_hook_) coordinator_worker_->SetSnapshotHook(snapshot_hook_);
   site_workers_.reserve(site_nodes_.size());
   for (size_t i = 0; i < site_nodes_.size(); ++i) {
     DWRS_CHECK(site_nodes_[i] != nullptr) << " site " << i << " not attached";

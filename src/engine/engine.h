@@ -79,6 +79,16 @@ class Engine : public sim::Transport {
   void AttachSite(int site, sim::SiteNode* node);
   void AttachCoordinator(sim::CoordinatorNode* node);
 
+  // Installs a snapshot-publication hook that the coordinator thread
+  // invokes after every processed message (before the message's
+  // done-counter increment; see engine/coordinator_worker.h). The hook
+  // may read the attached coordinator endpoint and this engine's stats —
+  // it runs on the one thread that owns the endpoint — and must publish
+  // through a mechanism readers can consume lock-free (the intended one
+  // is query::SnapshotPublisher). Must be installed before the first
+  // Push/Run/Flush.
+  void SetSnapshotHook(std::function<void()> hook);
+
   // Feeds one event into the site's current ingestion batch; hands the
   // batch to the site worker every config().batch_size items (blocking
   // when the site's queue is full). Feeder thread only.
@@ -135,6 +145,7 @@ class Engine : public sim::Transport {
 
   std::vector<sim::SiteNode*> site_nodes_;
   sim::CoordinatorNode* coordinator_node_ = nullptr;
+  std::function<void()> snapshot_hook_;
 
   std::vector<std::unique_ptr<SiteWorker>> site_workers_;
   std::unique_ptr<CoordinatorWorker> coordinator_worker_;

@@ -1,5 +1,7 @@
 #include "engine/sharded_engine.h"
 
+#include <utility>
+
 namespace dwrs::engine {
 
 ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
@@ -24,6 +26,11 @@ void ShardedEngine::AttachShardCoordinator(int shard,
   DWRS_CHECK(node != nullptr);
   shards_[Index(shard)]->AttachCoordinator(node);
   coordinators_[Index(shard)] = node;
+}
+
+void ShardedEngine::SetShardSnapshotHook(int shard,
+                                         std::function<void()> hook) {
+  shards_[Index(shard)]->SetSnapshotHook(std::move(hook));
 }
 
 void ShardedEngine::Push(int site, const Item& item) {

@@ -67,6 +67,12 @@ class ShardedEngine {
   void AttachSite(int site, sim::SiteNode* node);
   void AttachShardCoordinator(int shard, sim::CoordinatorNode* node);
 
+  // Installs shard `shard`'s snapshot-publication hook, invoked on that
+  // shard's coordinator thread after every processed message (see
+  // engine/engine.h) — the publication side of the live query path
+  // (src/query/). Install before the first Push/Run/Flush.
+  void SetShardSnapshotHook(int shard, std::function<void()> hook);
+
   // Feeder thread only (single producer across all shards, as with
   // engine::Engine::Push).
   void Push(int site, const Item& item);

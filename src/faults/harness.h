@@ -23,6 +23,7 @@
 #define DWRS_FAULTS_HARNESS_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -221,12 +222,18 @@ class FaultyRun {
   FaultyRun& operator=(const FaultyRun&) = delete;
 
   // Streams the workload and reconciles. Querying the coordinator is
-  // legal afterwards.
-  void Run(const Workload& workload) {
+  // legal afterwards. If `on_step` is set, it is invoked after every
+  // event with the 1-based prefix length, at a quiesce point of the
+  // backend (the engine backend is step-synchronous by construction, so
+  // the hook may query the coordinator, the session, and the live-query
+  // snapshot layer) — the per-step query transcript the property sweep
+  // compares across backends.
+  void Run(const Workload& workload,
+           const std::function<void(uint64_t)>& on_step = nullptr) {
     if (runtime_) {
-      runtime_->Run(workload);
+      runtime_->Run(workload, on_step);
     } else {
-      engine_->Run(workload);
+      engine_->Run(workload, on_step);
     }
     Reconcile();
   }

@@ -268,4 +268,12 @@ bool CoordinatorSession::AllGapsResolved() const {
   return true;
 }
 
+uint32_t CoordinatorSession::MaxSiteEpoch() const {
+  uint32_t max_epoch = 0;
+  for (const PeerState& peer : peers_) {
+    if (peer.epoch > max_epoch) max_epoch = peer.epoch;
+  }
+  return max_epoch;
+}
+
 }  // namespace dwrs::faults

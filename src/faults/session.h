@@ -161,10 +161,12 @@ class CoordinatorSession : public sim::CoordinatorNode {
 
   // The session is transparent to the root merge stage: a sharded
   // backend attached to sessions still answers MergedSample queries with
-  // the inner coordinators' summaries.
+  // the inner coordinators' summaries. Version forwarding keeps the
+  // live-query snapshot layer oblivious to the session wrapper too.
   MergeableSample ShardSample() const override {
     return inner_->ShardSample();
   }
+  uint64_t StateVersion() const override { return inner_->StateVersion(); }
 
   // --- introspection ---------------------------------------------------
   // FNV-1a fold of every in-order delivered message (site, stamps and
@@ -183,6 +185,11 @@ class CoordinatorSession : public sim::CoordinatorNode {
   // True iff no site has an outstanding unfilled gap (every delivered
   // prefix is contiguous and nothing received still waits on a nack).
   bool AllGapsResolved() const;
+
+  // Highest crash epoch observed across all sites — the coordinator-side
+  // epoch coherence stamp the live-query snapshots carry (a bump means
+  // some site of this shard crashed and restarted).
+  uint32_t MaxSiteEpoch() const;
 
  private:
   struct PeerState {

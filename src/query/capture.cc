@@ -1,0 +1,50 @@
+#include "query/capture.h"
+
+#include <vector>
+
+#include "sampling/keyed_item.h"
+
+namespace dwrs::query {
+
+namespace {
+
+// The target_size-th largest stored key of a top-key summary — the
+// sample's own admission threshold, exactly the quantity
+// EstimatorSample conditions on. 0 while the sample is not yet full.
+double SummaryThreshold(const MergeableSample& sample) {
+  if (sample.kind != SampleKind::kTopKey) return 0.0;
+  const std::vector<KeyedItem> top = sample.TopEntries();
+  if (top.size() < sample.target_size || top.empty()) return 0.0;
+  return top.back().key;
+}
+
+}  // namespace
+
+ShardSnapshot CaptureSnapshot(const sim::CoordinatorNode& coordinator) {
+  ShardSnapshot snap;
+  snap.sample = coordinator.ShardSample();
+  snap.state_version = coordinator.StateVersion();
+  snap.threshold = SummaryThreshold(snap.sample);
+  return snap;
+}
+
+ShardSnapshot CaptureL1Snapshot(const L1TrackerConfig& config,
+                                const WsworCoordinator& coordinator) {
+  ShardSnapshot snap;
+  snap.sample = L1ShardEstimate(config, coordinator);
+  snap.sample.state_version = coordinator.StateVersion();
+  snap.state_version = coordinator.StateVersion();
+  snap.threshold = coordinator.Threshold();
+  snap.l1_estimate = L1EstimateFromThreshold(config, coordinator.Threshold());
+  return snap;
+}
+
+ShardSnapshot CaptureSessionSnapshot(const faults::CoordinatorSession& session,
+                                     bool force_stale) {
+  ShardSnapshot snap = CaptureSnapshot(session);
+  snap.session_epoch = session.MaxSiteEpoch();
+  snap.stale = force_stale || !session.AllGapsResolved();
+  return snap;
+}
+
+}  // namespace dwrs::query

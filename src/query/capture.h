@@ -1,0 +1,57 @@
+// Snapshot capture: turns one shard coordinator's state into the
+// ShardSnapshot its publisher hands to the query path. Capture runs on
+// whatever thread owns the coordinator endpoint — the engine's
+// coordinator thread (from the SetSnapshotHook callback) or the driving
+// thread under the step-synchronous simulator — at a shard-local quiesce
+// point, so it may read the endpoint without synchronization.
+//
+// Three capture shapes cover the deployments:
+//   CaptureSnapshot         — any versioned coordinator (sample +
+//                             threshold), reliable transport.
+//   CaptureL1Snapshot       — the L1 reduction: kScalarSum summary and
+//                             the W-hat scalar derived from the
+//                             coordinator threshold (l1/l1_tracker.h).
+//   CaptureSessionSnapshot  — a coordinator behind a fault-model
+//                             reliability session: stamps the session's
+//                             crash-epoch high-water mark and raises the
+//                             stale flag while the session reports
+//                             degradation (unresolved gaps), which makes
+//                             the publisher freeze content at the last
+//                             clean state (query/snapshot.h).
+
+#ifndef DWRS_QUERY_CAPTURE_H_
+#define DWRS_QUERY_CAPTURE_H_
+
+#include "core/coordinator.h"
+#include "faults/session.h"
+#include "l1/l1_tracker.h"
+#include "query/snapshot.h"
+#include "sim/node.h"
+
+namespace dwrs::query {
+
+// Generic capture off the CoordinatorNode interface. `threshold` is
+// derived from the exported summary: the target_size-th largest stored
+// key (0 while fewer candidates exist) — monotone over a coordinator's
+// lifetime for the top-key protocols, which is what the consistency
+// referee checks. The caller stamps steps/messages afterwards (they are
+// backend state, not coordinator state).
+ShardSnapshot CaptureSnapshot(const sim::CoordinatorNode& coordinator);
+
+// L1 capture: the shard's summary is its scalar W-hat estimate
+// (summation-composed across shards); threshold is the coordinator's u.
+ShardSnapshot CaptureL1Snapshot(const L1TrackerConfig& config,
+                                const WsworCoordinator& coordinator);
+
+// Capture through a reliability session (src/faults/): content is the
+// inner coordinator's, coherence stamps are the session's. stale is
+// raised while any site has an unresolved delivery gap — the window in
+// which the coordinator's state may lag retransmissions in flight.
+// Callers that detect irrecoverable loss out of band (a non-clean run
+// report) set `force_stale` so the shard stays flagged after reconcile.
+ShardSnapshot CaptureSessionSnapshot(const faults::CoordinatorSession& session,
+                                     bool force_stale = false);
+
+}  // namespace dwrs::query
+
+#endif  // DWRS_QUERY_CAPTURE_H_

@@ -1,0 +1,85 @@
+#include "query/query_service.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dwrs::query {
+
+QueryService::QueryService(std::vector<const SnapshotPublisher*> shards)
+    : shards_(std::move(shards)) {
+  DWRS_CHECK(!shards_.empty());
+  for (const SnapshotPublisher* shard : shards_) {
+    DWRS_CHECK(shard != nullptr);
+  }
+}
+
+QueryResult QueryService::Query() const {
+  QueryResult out;
+  out.complete = true;
+  out.shards.resize(shards_.size());
+  std::vector<MergeableSample> summaries;
+  summaries.reserve(shards_.size());
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    ShardSnapshot& snap = out.shards[shard];
+    if (!shards_[shard]->Read(&snap) ||
+        snap.sample.kind == SampleKind::kEmpty) {
+      // Not published yet (or the coordinator exports no mergeable
+      // state): folding the kEmpty identity would silently drop this
+      // shard's slice, so report incompleteness instead. The positional
+      // entry stays default-initialized (publish_seq == 0).
+      out.complete = false;
+      continue;
+    }
+    if (snap.stale) {
+      out.any_stale = true;
+      out.stale_shards.push_back(static_cast<int>(shard));
+    }
+    out.l1_estimate += snap.l1_estimate;
+    out.messages += snap.messages;
+    out.steps += snap.steps;
+    summaries.push_back(snap.sample);
+  }
+  out.merged = MergeShardSamples(summaries);
+  return out;
+}
+
+std::vector<KeyedItem> QueryService::Sample() const {
+  return Query().merged.TopEntries();
+}
+
+double QueryService::L1Estimate() const { return Query().l1_estimate; }
+
+ThresholdedSample QueryService::EstimatorSample() const {
+  const QueryResult result = Query();
+  std::vector<KeyedItem> top = result.merged.TopEntries();
+  if (top.size() < result.merged.target_size) {
+    // Fewer candidates than s anywhere: no shard has filled its sample,
+    // so no threshold was ever announced and every delivered item is in
+    // hand — exact-sum mode (tau = 0), nothing peeled off.
+    ThresholdedSample out;
+    out.top = std::move(top);
+    return out;
+  }
+  // Conditioning on the s-th largest merged key: MakeThresholdedSample
+  // peels the last (smallest) entry off as tau, leaving the top s-1 as
+  // the estimation sample — every quantity exactly known from the
+  // merged summary, no discarded key needed.
+  return MakeThresholdedSample(std::move(top));
+}
+
+double QueryService::SubsetSum(
+    const std::function<bool(const Item&)>& pred) const {
+  return EstimateSubsetSum(EstimatorSample(), pred);
+}
+
+double QueryService::SubsetCount(
+    const std::function<bool(const Item&)>& pred) const {
+  return EstimateSubsetCount(EstimatorSample(), pred);
+}
+
+double QueryService::TotalWeight() const {
+  return EstimateTotalWeight(EstimatorSample());
+}
+
+}  // namespace dwrs::query

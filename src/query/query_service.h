@@ -1,0 +1,117 @@
+// QueryService: the always-available read path. Merges the per-shard
+// snapshots published at shard-local quiesce points into one global
+// answer — sample, L1 estimate, subset-sum estimators — while the
+// ingestion side keeps running at full speed.
+//
+// Consistency model. Each shard snapshot is a valid quiesce-point state
+// of that shard's delivered-message prefix (published between
+// coordinator OnMessage calls), so a query result is the EXACT answer
+// over the union of S per-shard prefixes: every sampled item's key was
+// drawn exactly once at exactly one shard, and the merge algebra
+// (sampling/mergeable_sample.h) composes the per-shard summaries
+// distribution-exactly. What a live result is NOT is a single global
+// stream prefix — shards advance independently — but each shard's slice
+// is exact for its own prefix, versions and thresholds only move
+// forward, and at any whole-system quiesce point (engine Flush, end of
+// stream) the result coincides bit for bit with the stop-the-world
+// answer. Staleness is bounded by the coordinator inbox: a shard's
+// snapshot lags its true state by at most the messages currently queued
+// to its coordinator (zero at shard quiesce).
+//
+// Fault semantics: a shard whose session layer reports degradation
+// publishes its last clean state flagged stale (query/snapshot.h). The
+// merge NEVER silently folds such a shard: the result carries the stale
+// shard list and an any_stale bit alongside the merged sample.
+//
+// Estimator queries condition on the s-th largest merged key: the top
+// s-1 entries plus that key as tau form an exactly-known thresholded
+// sample (estimators/swor_estimators.h), giving unbiased
+// Horvitz-Thompson subset sums from live snapshots with no access to
+// discarded keys.
+
+#ifndef DWRS_QUERY_QUERY_SERVICE_H_
+#define DWRS_QUERY_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "estimators/swor_estimators.h"
+#include "query/snapshot.h"
+#include "sampling/keyed_item.h"
+#include "sampling/mergeable_sample.h"
+#include "sim/message.h"
+
+namespace dwrs::query {
+
+struct QueryResult {
+  // True iff every shard has published at least one snapshot with
+  // mergeable content. While false the remaining fields cover only the
+  // shards that have (merged stays kEmpty when none have).
+  bool complete = false;
+
+  // Fault visibility: shards whose snapshot content is frozen at their
+  // last clean state. Never silently merged — always surfaced here.
+  bool any_stale = false;
+  std::vector<int> stale_shards;
+
+  // Root merge of the shard summaries (exact; see the header comment).
+  MergeableSample merged;
+
+  // Sum of the shard scalars: L1 W-hat estimates compose by summation
+  // (l1/l1_tracker.h); 0 for deployments that do not serve L1.
+  double l1_estimate = 0.0;
+
+  // Aggregates across shards.
+  sim::MessageStats messages;
+  uint64_t steps = 0;
+
+  // The raw per-shard snapshots backing this result, positional (one
+  // entry per shard; a shard that has not published yet keeps a
+  // default-initialized entry with publish_seq == 0) — what the
+  // consistency referee audits (monotone publish_seq / state_version /
+  // threshold / session_epoch per shard).
+  std::vector<ShardSnapshot> shards;
+};
+
+class QueryService {
+ public:
+  // Non-owning views of the per-shard publishers, in shard order. The
+  // publishers (and their writers' endpoints) must outlive the service's
+  // last query.
+  explicit QueryService(std::vector<const SnapshotPublisher*> shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // One lock-free read per shard plus an O(S * s log s) merge; safe from
+  // any number of threads concurrently with ingestion.
+  QueryResult Query() const;
+
+  // The merged global sample of Query() (empty while incomplete).
+  std::vector<KeyedItem> Sample() const;
+
+  // Summed shard L1 estimates (0.0 while incomplete).
+  double L1Estimate() const;
+
+  // Thresholded sample for Horvitz-Thompson estimation: top s-1 merged
+  // entries + the s-th largest key as tau. While fewer than s merged
+  // candidates exist no shard has announced a threshold, so every
+  // delivered item is in hand and the full candidate set is served with
+  // tau = 0 (exact-sum mode).
+  ThresholdedSample EstimatorSample() const;
+
+  // Subset-sum / count / total-weight estimates over a live snapshot.
+  // Each call takes its own snapshot; to compose coherent estimates
+  // (e.g. a sum/count ratio) capture EstimatorSample() once and apply
+  // estimators/swor_estimators.h to it directly.
+  double SubsetSum(const std::function<bool(const Item&)>& pred) const;
+  double SubsetCount(const std::function<bool(const Item&)>& pred) const;
+  double TotalWeight() const;
+
+ private:
+  std::vector<const SnapshotPublisher*> shards_;
+};
+
+}  // namespace dwrs::query
+
+#endif  // DWRS_QUERY_QUERY_SERVICE_H_

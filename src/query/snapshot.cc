@@ -1,0 +1,92 @@
+#include "query/snapshot.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dwrs::query {
+
+namespace {
+// Two spares beyond the live node cover the common case (one node being
+// read, one being written) without growing the pool.
+constexpr size_t kInitialPoolSize = 3;
+}  // namespace
+
+SnapshotPublisher::SnapshotPublisher() {
+  pool_.reserve(kInitialPoolSize);
+  for (size_t i = 0; i < kInitialPoolSize; ++i) {
+    pool_.push_back(std::make_unique<Node>());
+  }
+}
+
+SnapshotPublisher::~SnapshotPublisher() {
+  // Contract: readers are gone by destruction time (they hold references
+  // to the publisher itself). A pinned node here means a reader is still
+  // alive and about to use freed memory — fail loudly instead.
+  for (const auto& node : pool_) {
+    DWRS_CHECK_EQ(node->refs.load(), 0u)
+        << " SnapshotPublisher destroyed while a reader is mid-copy";
+  }
+}
+
+SnapshotPublisher::Node* SnapshotPublisher::AcquireFreeNode() {
+  Node* live = latest_.load(std::memory_order_relaxed);
+  for (const auto& node : pool_) {
+    if (node.get() == live) continue;
+    // seq_cst pairs with the readers' pin/validate sequence: a reader
+    // whose increment is not visible here is guaranteed to fail its
+    // latest-pointer validation and back off without touching the
+    // content (see Read()).
+    if (node->refs.load(std::memory_order_seq_cst) == 0) return node.get();
+  }
+  // Every spare node is pinned by a reader right now. Grow instead of
+  // waiting: the writer is the coordinator thread and must not block on
+  // the query path.
+  pool_.push_back(std::make_unique<Node>());
+  return pool_.back().get();
+}
+
+void SnapshotPublisher::Publish(ShardSnapshot snap) {
+  snap.publish_seq = ++next_seq_;
+  if (snap.stale && have_clean_) {
+    // Freeze the content at the last clean state; keep the caller's
+    // coherence stamps so observers still see the shard's liveness.
+    ShardSnapshot frozen = last_clean_;
+    frozen.publish_seq = snap.publish_seq;
+    frozen.stale = true;
+    frozen.steps = snap.steps;
+    frozen.session_epoch = snap.session_epoch;
+    frozen.messages = snap.messages;
+    snap = std::move(frozen);
+  } else if (!snap.stale) {
+    last_clean_ = snap;
+    have_clean_ = true;
+  }
+  published_state_version_ = snap.state_version;
+  Node* node = AcquireFreeNode();
+  node->snap = std::move(snap);
+  latest_.store(node, std::memory_order_seq_cst);
+  publish_count_.fetch_add(1, std::memory_order_release);
+}
+
+bool SnapshotPublisher::Read(ShardSnapshot* out) const {
+  for (;;) {
+    Node* node = latest_.load(std::memory_order_seq_cst);
+    if (node == nullptr) return false;
+    node->refs.fetch_add(1, std::memory_order_seq_cst);
+    if (latest_.load(std::memory_order_seq_cst) == node) {
+      // The node was (still) live after our pin: the writer's content
+      // write happened before the seq_cst publish this load read from,
+      // and the writer cannot reclaim the node until the release
+      // decrement below.
+      *out = node->snap;
+      node->refs.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+    // The writer swapped concurrently; our pin may be on a node it is
+    // about to rewrite. Back off without touching the content.
+    node->refs.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+}  // namespace dwrs::query

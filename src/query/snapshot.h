@@ -1,0 +1,140 @@
+// Live query snapshots: the per-shard state a coordinator publishes at
+// shard-local quiesce points, and the single-writer/many-reader cell the
+// query path reads it from without ever blocking — or being blocked by —
+// ingestion.
+//
+// A ShardSnapshot is an immutable value: the shard coordinator's
+// mergeable summary (sampling/mergeable_sample.h) plus the scalars a
+// query endpoint serves (threshold, L1 estimate, traffic counters) and
+// the coherence stamps a referee can audit (publish sequence, state
+// version, session epoch, staleness flag).
+//
+// SnapshotPublisher is the handoff cell. The writer is the one thread
+// that owns the coordinator endpoint (the engine's coordinator thread,
+// or the driving thread under the step-synchronous simulator); readers
+// are arbitrary query threads. The design is a double-buffer generalized
+// to a small node pool with per-node reader pinning:
+//
+//   - The writer publishes into a pool node no reader currently pins
+//     (refs == 0) and that is not the live node, then swaps the `latest`
+//     pointer. The pool grows only when every spare node is pinned, so
+//     steady state recycles the same few nodes — and nodes are NEVER
+//     freed before the publisher dies, which is what makes the reader
+//     protocol safe without hazard pointers.
+//   - A reader pins: load latest, increment the node's reader count,
+//     re-validate that the node is still latest. Validation failure
+//     (the writer swapped concurrently) releases and retries; success
+//     means the node's content is complete (the seq_cst swap the
+//     validation load reads from happens after the writer's content
+//     write) and cannot be overwritten while pinned (the writer skips
+//     nodes with refs != 0, and the skip-check's acquire load pairs with
+//     the reader's release decrement).
+//
+// Reads are lock-free: a reader retries only when the writer published
+// concurrently, and never waits on a lock or on another reader. The
+// writer never waits at all.
+//
+// Degraded publishes (snap.stale == true, the fault path): the publisher
+// freezes the CONTENT at the last clean snapshot — sample, threshold,
+// L1, state version — republishing it with the stale flag and the
+// caller's fresh coherence stamps. A crashed or gapped shard therefore
+// serves its last clean epoch's answer, visibly flagged, rather than a
+// silently wrong partial state (see query_service.h for how the merge
+// surfaces the flag).
+
+#ifndef DWRS_QUERY_SNAPSHOT_H_
+#define DWRS_QUERY_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sampling/mergeable_sample.h"
+#include "sim/message.h"
+
+namespace dwrs::query {
+
+struct ShardSnapshot {
+  // Publisher-assigned publish sequence (1-based, monotone per shard).
+  uint64_t publish_seq = 0;
+  // Coordinator state version at capture (sim::CoordinatorNode::
+  // StateVersion): identifies the delivered-message prefix the content
+  // reflects. Frozen while stale.
+  uint64_t state_version = 0;
+  // Backend step clock at capture. Exact at quiesce points; under
+  // pipelined ingestion an upper bound on the prefix the content covers.
+  uint64_t steps = 0;
+  // Fault-model coherence: highest site crash epoch folded into this
+  // shard (0 on a reliable transport), and whether the content had to be
+  // frozen at the last clean state (session gaps unresolved / data loss
+  // detected).
+  uint64_t session_epoch = 0;
+  bool stale = false;
+
+  // The shard coordinator's mergeable summary, stamped with
+  // state_version by the exporter.
+  MergeableSample sample;
+  // Derived scalars served without touching the coordinator again.
+  double threshold = 0.0;
+  double l1_estimate = 0.0;
+  sim::MessageStats messages;
+};
+
+class SnapshotPublisher {
+ public:
+  SnapshotPublisher();
+  ~SnapshotPublisher();
+
+  SnapshotPublisher(const SnapshotPublisher&) = delete;
+  SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
+
+  // Writer thread only. Assigns the publish sequence and makes `snap`
+  // the snapshot subsequent Read() calls return. When snap.stale is set
+  // the content fields are replaced by the last clean publish's (see the
+  // header comment); the coherence stamps (steps, session_epoch,
+  // messages) stay the caller's.
+  void Publish(ShardSnapshot snap);
+
+  // Any thread, lock-free. Copies the latest published snapshot into
+  // `*out`; false iff nothing has been published yet. Successive reads
+  // (from one thread) see monotonically nondecreasing publish_seq.
+  bool Read(ShardSnapshot* out) const;
+
+  // Publishes performed so far (writer-exact; readers see it lag at most
+  // one in-flight publish behind Read()).
+  uint64_t publish_count() const {
+    return publish_count_.load(std::memory_order_acquire);
+  }
+
+  // Writer thread only: the state_version of the most recent publish
+  // (after any degraded-content freezing), 0 before the first. Lets the
+  // writer skip republishing unchanged state without copying a
+  // snapshot back out.
+  uint64_t published_state_version() const { return published_state_version_; }
+
+ private:
+  struct Node {
+    ShardSnapshot snap;
+    // Readers currently copying this node's content.
+    std::atomic<uint64_t> refs{0};
+  };
+
+  Node* AcquireFreeNode();
+
+  std::atomic<Node*> latest_{nullptr};
+  std::atomic<uint64_t> publish_count_{0};
+
+  // Writer-owned. Nodes live until destruction (never freed while a
+  // reader could hold a stale pointer); the pool grows past its initial
+  // size only while readers pin every spare node.
+  std::vector<std::unique_ptr<Node>> pool_;
+  uint64_t next_seq_ = 0;
+  uint64_t published_state_version_ = 0;
+  ShardSnapshot last_clean_;
+  bool have_clean_ = false;
+};
+
+}  // namespace dwrs::query
+
+#endif  // DWRS_QUERY_SNAPSHOT_H_

@@ -69,6 +69,7 @@ MergeableSample MergeShardSamples(const std::vector<MergeableSample>& shards) {
     }
     DWRS_CHECK(shard.kind == out.kind) << " mixed sample kinds in merge";
     DWRS_CHECK_EQ(shard.target_size, out.target_size);
+    out.state_version = std::max(out.state_version, shard.state_version);
 
     switch (shard.kind) {
       case SampleKind::kEmpty:

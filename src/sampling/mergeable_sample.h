@@ -67,6 +67,15 @@ struct MergeableSample {
   // kTopKey: the sample size s. kSlotMin: the number of races.
   size_t target_size = 0;
 
+  // Exporting coordinator's state version at export time
+  // (sim::CoordinatorNode::StateVersion): a monotone per-coordinator
+  // state stamp, 0 when the exporter does not track versions. The merge
+  // takes the maximum — versions of different shards are not mutually
+  // ordered, so the merged stamp is only a freshness hint; exact
+  // per-shard versions live in the query layer (src/query/). For a
+  // single shard the stamp identifies the exported state precisely.
+  uint64_t state_version = 0;
+
   // kTopKey: released/regular candidates (shard coordinator's S).
   std::vector<KeyedItem> entries;
   // kTopKey: withheld candidates with their levels (shard's D), plus the

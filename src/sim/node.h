@@ -105,8 +105,17 @@ class CoordinatorNode {
   // exact global sample. Legal at the same points as any other query
   // (quiesce points; see the threading contract in core/coordinator.h).
   // Coordinators without mergeable state report kEmpty, which merges as
-  // the identity.
+  // the identity. Exports are versioned: implementations stamp
+  // MergeableSample::state_version with StateVersion(), so a consumer
+  // (the live query layer, src/query/) can tell two exports of the same
+  // coordinator state apart from two different states.
   virtual MergeableSample ShardSample() const { return {}; }
+  // Monotone state-change counter: advances by exactly one per processed
+  // protocol message (the coordinator's state is a pure function of its
+  // delivered-message prefix, so equal versions on one coordinator imply
+  // equal state). 0 before the first message; coordinators without
+  // version tracking report 0 forever.
+  virtual uint64_t StateVersion() const { return 0; }
 };
 
 // The validated per-shard summary every sharded backend's root merge

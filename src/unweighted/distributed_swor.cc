@@ -69,6 +69,7 @@ UsworCoordinator::UsworCoordinator(const UsworConfig& config,
 
 void UsworCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
   DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kUsworCandidate));
+  ++state_version_;
   // Keep the s smallest uniform keys by storing negated keys in the
   // top-key (max side) heap.
   smallest_.Offer(-msg.y, Item{msg.a, msg.x});
@@ -111,6 +112,7 @@ MergeableSample UsworCoordinator::ShardSample() const {
   MergeableSample out;
   out.kind = SampleKind::kTopKey;
   out.target_size = static_cast<size_t>(config_.sample_size);
+  out.state_version = state_version_;
   out.entries.reserve(smallest_.size());
   // Stored keys are already negated uniforms; exporting them unchanged
   // makes the max-order merge a min-key merge on the true keys.

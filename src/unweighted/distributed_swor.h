@@ -77,8 +77,10 @@ class UsworCoordinator : public sim::CoordinatorNode {
   // Mergeable shard summary. Keys are stored NEGATED (key' = -u), so the
   // max-order kTopKey merge keeps the s SMALLEST uniform keys — the
   // min-key merge this protocol needs. Extract items via
-  // UsworSampleFromMerged.
+  // UsworSampleFromMerged. Stamped with StateVersion().
   MergeableSample ShardSample() const override;
+
+  uint64_t StateVersion() const override { return state_version_; }
 
   // Current unweighted SWOR (size min(t, s)).
   std::vector<Item> Sample() const;
@@ -96,6 +98,7 @@ class UsworCoordinator : public sim::CoordinatorNode {
   // Max-heap on (1 - key) == keep the s smallest keys: store key' = -key.
   TopKeyHeap<Item> smallest_;  // keyed by -u so the heap keeps min keys
   double tau_hat_ = 1.0;
+  uint64_t state_version_ = 0;
 };
 
 // Items of a merged unweighted shard summary, ascending by true uniform

@@ -97,6 +97,7 @@ void SlottedSwrCoordinator::MaybeAnnounce() {
 
 void SlottedSwrCoordinator::OnMessage(int /*site*/, const sim::Payload& msg) {
   DWRS_CHECK_EQ(msg.type, static_cast<uint32_t>(kSwrCandidate));
+  ++state_version_;
   const uint64_t race_index = msg.a >> 40;
   const uint64_t id = msg.a & ((1ull << 40) - 1);
   DWRS_CHECK_LT(race_index, races_.size());
@@ -113,6 +114,7 @@ MergeableSample SlottedSwrCoordinator::ShardSample() const {
   MergeableSample out;
   out.kind = SampleKind::kSlotMin;
   out.target_size = races_.size();
+  out.state_version = state_version_;
   out.slots.resize(races_.size());
   for (size_t i = 0; i < races_.size(); ++i) {
     const Race& race = races_[i];

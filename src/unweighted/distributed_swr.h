@@ -67,8 +67,11 @@ class SlottedSwrCoordinator : public sim::CoordinatorNode {
 
   // Mergeable shard summary: one slot per race holding the shard's
   // current race minimum; merging takes the slot-wise minimum, which is
-  // exactly the global per-race winner (min of mins).
+  // exactly the global per-race winner (min of mins). Stamped with
+  // StateVersion().
   MergeableSample ShardSample() const override;
+
+  uint64_t StateVersion() const override { return state_version_; }
 
   // One item per race; empty until the first item arrives.
   std::vector<Item> Sample() const;
@@ -89,6 +92,7 @@ class SlottedSwrCoordinator : public sim::CoordinatorNode {
   sim::Transport* transport_;
   std::vector<Race> races_;
   double tau_hat_ = 1.0;
+  uint64_t state_version_ = 0;
 };
 
 // Facade running the s races over the simulated network.

@@ -1,10 +1,17 @@
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "core/sharded_sampler.h"
 #include "estimators/swor_estimators.h"
+#include "query/live.h"
+#include "query/query_service.h"
+#include "random/rng.h"
 #include "sampling/efraimidis_spirakis.h"
+#include "sim/sharded_runtime.h"
 #include "stats/summary.h"
+#include "stream/workload.h"
 
 namespace dwrs {
 namespace {
@@ -102,6 +109,145 @@ TEST(EstimatorsTest, HeavyItemsEstimatedNearExactly) {
 TEST(EstimatorsDeathTest, RejectsUnsortedSample) {
   std::vector<KeyedItem> bad = {{Item{0, 1.0}, 1.0}, {Item{1, 1.0}, 2.0}};
   EXPECT_DEATH(MakeThresholdedSample(bad), "descending");
+}
+
+// ---------------------------------------------------------------------
+// Subset-sum estimation served through live QueryService snapshots
+// (src/query/): the merged shard summaries condition on the s-th
+// largest merged key, so the live path must be unbiased, must agree
+// bit for bit with the direct post-quiesce computation at quiesce
+// points, and mid-stream answers must concentrate within the
+// estimator's bound.
+
+namespace {
+
+Workload FixedWeightsWorkload(const std::vector<double>& weights, int sites,
+                              uint64_t seed) {
+  std::vector<WorkloadEvent> events;
+  Rng rng(seed);
+  for (uint64_t i = 0; i < weights.size(); ++i) {
+    events.push_back(WorkloadEvent{
+        static_cast<int>(rng.NextBounded(static_cast<uint64_t>(sites))),
+        Item{i, weights[i]}});
+  }
+  return Workload(sites, std::move(events));
+}
+
+// One sharded sim deployment with live publishers; runs `workload` and
+// leaves the final quiesce-point snapshots published.
+struct LiveSimRun {
+  LiveSimRun(const WsworConfig& config, int shards, const Workload& workload)
+      : runtime(config.num_sites, shards),
+        endpoints(AttachShardedWswor(config, runtime)),
+        publishers(shards),
+        service(publishers.views()) {
+    query::PublishWsworSnapshots(runtime, endpoints, publishers);
+    runtime.Run(workload);
+    query::PublishWsworSnapshots(runtime, endpoints, publishers);
+  }
+
+  sim::ShardedRuntime runtime;
+  ShardedWsworEndpoints endpoints;
+  query::LiveShardPublishers publishers;
+  query::QueryService service;
+};
+
+}  // namespace
+
+TEST(EstimatorsTest, SubsetSumThroughLiveSnapshotsUnbiased) {
+  const int k = 4, s = 16, shards = 2;
+  std::vector<double> weights;
+  double pred_truth = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    weights.push_back(1.0 + (i * 17 % 11));
+    if (i % 3 == 0) pred_truth += weights.back();
+  }
+  const auto pred = [](const Item& item) { return item.id % 3 == 0; };
+
+  Summary estimates;
+  Summary counts;
+  const int trials = 1500;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t trial = static_cast<uint64_t>(t);
+    WsworConfig config;
+    config.num_sites = k;
+    config.sample_size = s;
+    config.seed = 40000 + trial;
+    LiveSimRun run(config, shards,
+                   FixedWeightsWorkload(weights, k, /*seed=*/600 + trial));
+    estimates.Add(run.service.SubsetSum(pred));
+    counts.Add(run.service.SubsetCount(pred));
+  }
+  EXPECT_NEAR(estimates.mean(), pred_truth,
+              5.0 * estimates.stddev() / std::sqrt(trials));
+  EXPECT_NEAR(counts.mean(), 20.0, 5.0 * counts.stddev() / std::sqrt(trials));
+}
+
+TEST(EstimatorsTest, LiveAnswerEqualsPostQuiesceAnswerAtQuiescePoints) {
+  // At a quiesce point the live path must serve EXACTLY the estimate the
+  // direct root-merge computation produces — same sample, same tau, bit
+  // for bit.
+  const int k = 4, s = 12, shards = 2;
+  std::vector<double> weights;
+  for (int i = 0; i < 80; ++i) weights.push_back(1.0 + (i % 7));
+  const WsworConfig config{.num_sites = k, .sample_size = s, .seed = 91};
+  LiveSimRun run(config, shards, FixedWeightsWorkload(weights, k, 17));
+
+  const auto pred = [](const Item& item) { return item.id % 2 == 0; };
+  const ThresholdedSample direct =
+      MakeThresholdedSample(run.runtime.MergedSample().TopEntries());
+  EXPECT_DOUBLE_EQ(run.service.SubsetSum(pred),
+                   EstimateSubsetSum(direct, pred));
+  EXPECT_DOUBLE_EQ(run.service.TotalWeight(), EstimateTotalWeight(direct));
+  // tau is the s-th largest merged key, positive once s candidates
+  // exist.
+  EXPECT_GT(run.service.EstimatorSample().tau, 0.0);
+  EXPECT_EQ(run.service.EstimatorSample().top.size(),
+            static_cast<size_t>(s - 1));
+}
+
+TEST(EstimatorsTest, MidStreamLiveEstimateWithinPaperBound) {
+  // Query the live total-weight estimate mid-stream (step-synchronous,
+  // prefix pinned): unbiased for the prefix truth, with relative
+  // standard deviation within the estimator's O(1/sqrt(s)) bound.
+  const int k = 4, s = 16, shards = 2;
+  std::vector<double> weights;
+  for (int i = 0; i < 64; ++i) weights.push_back(1.0 + (i * 13 % 9));
+  const uint64_t prefix = 40;
+  double prefix_truth = 0.0;
+
+  Summary estimates;
+  const int trials = 1500;
+  for (int t = 0; t < trials; ++t) {
+    const Workload w =
+        FixedWeightsWorkload(weights, k, /*seed=*/300);  // fixed arrivals
+    if (t == 0) {
+      for (uint64_t i = 0; i < prefix; ++i) {
+        prefix_truth += w.event(i).item.weight;
+      }
+    }
+    WsworConfig config;
+    config.num_sites = k;
+    config.sample_size = s;
+    config.seed = 50000 + static_cast<uint64_t>(t);
+    sim::ShardedRuntime runtime(k, shards);
+    const ShardedWsworEndpoints endpoints = AttachShardedWswor(config, runtime);
+    query::LiveShardPublishers publishers(shards);
+    query::PublishWsworSnapshots(runtime, endpoints, publishers);
+    query::QueryService service(publishers.views());
+    double live = 0.0;
+    runtime.Run(w, [&](uint64_t step) {
+      query::PublishWsworSnapshots(runtime, endpoints, publishers);
+      if (step == prefix) live = service.TotalWeight();
+    });
+    estimates.Add(live);
+  }
+  EXPECT_NEAR(estimates.mean(), prefix_truth,
+              5.0 * estimates.stddev() / std::sqrt(trials));
+  // Paper-bound concentration: relative stddev of the (s-1)-sample
+  // threshold estimator is O(1/sqrt(s)); 3/sqrt(s) is a generous
+  // constant.
+  EXPECT_LT(estimates.stddev() / prefix_truth, 3.0 / std::sqrt(double(s)));
 }
 
 }  // namespace

@@ -1,15 +1,26 @@
 // Parameterized property sweeps: structural invariants of the weighted
 // SWOR protocol that must hold for every configuration, workload shape,
-// and seed — the paper's correctness conditions as executable properties.
+// and seed — the paper's correctness conditions as executable
+// properties — plus the live-query transcript property: under any
+// seeded random schedule (including FaultyTransport drop/dup/delay and
+// crashes), the per-step query transcript served through the snapshot
+// layer is identical on the step-synchronous simulator and the engine.
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <set>
 #include <tuple>
+#include <utility>
 
 #include "gtest/gtest.h"
 #include "core/sampler.h"
+#include "faults/harness.h"
+#include "query/capture.h"
+#include "query/query_service.h"
+#include "query/snapshot.h"
 #include "stream/workload.h"
 #include "util/math_util.h"
 
@@ -198,6 +209,131 @@ TEST_P(EpochBasePropertyTest, AnyBaseAtLeastTwoWorks) {
 
 INSTANTIATE_TEST_SUITE_P(Bases, EpochBasePropertyTest,
                          ::testing::Values(2.0, 3.0, 8.0, 64.0));
+
+// ---------------------------------------------------------------------
+// Live-query transcript property: for a seeded random schedule — random
+// workload shape, random fault mix over the FaultyTransport (drop,
+// duplicate, bounded-delay reorder, occasional crash-restart) — the
+// per-step QueryService transcript (stale flags, per-shard versions,
+// epochs, thresholds, and the full served sample) is bit-identical
+// between the step-synchronous simulator and the engine backend. The
+// snapshot layer adds no backend-dependent behaviour on top of the
+// delivery equivalence the fault suite pins.
+
+// FNV-1a fold, the transcript-hash idiom of the fault harness.
+struct TranscriptHash {
+  uint64_t hash = 1469598103934665603ull;
+  void Fold(uint64_t v) {
+    for (int b = 0; b < 64; b += 8) {
+      hash ^= (v >> b) & 0xffull;
+      hash *= 1099511628211ull;
+    }
+  }
+  void FoldDouble(double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    Fold(bits);
+  }
+};
+
+faults::FaultConfig SweepFaults(uint64_t seed) {
+  faults::FaultConfig fc;
+  fc.seed = seed * 7919 + 3;
+  fc.drop_prob = 0.04 * static_cast<double>(seed % 4);       // 0 .. 0.12
+  fc.duplicate_prob = 0.05 * static_cast<double>(seed % 3);  // 0 .. 0.10
+  fc.delay_prob = (seed % 2 == 1) ? 0.12 : 0.0;
+  fc.max_delay = 2 + static_cast<int>(seed % 3);
+  fc.crash_prob = (seed % 5 == 0) ? 0.01 : 0.0;
+  fc.crash_down_items = 4;
+  return fc;
+}
+
+Workload SweepWorkload(uint64_t seed, int k, uint64_t items) {
+  WorkloadBuilder builder;
+  builder.num_sites(k).num_items(items).seed(1000 + seed);
+  switch (seed % 3) {
+    case 0:
+      builder.weights(std::make_unique<UniformWeights>(1.0, 32.0));
+      break;
+    case 1:
+      builder.weights(std::make_unique<ZipfWeights>(100000, 1.3));
+      break;
+    default:
+      builder.weights(std::make_unique<ParetoWeights>(1.2));
+      break;
+  }
+  builder.partitioner(std::make_unique<RandomPartitioner>());
+  return builder.Build();
+}
+
+struct QueryTranscript {
+  uint64_t hash = 0;
+  uint64_t stale_steps = 0;
+  uint64_t delivered = 0;
+  uint64_t crashes = 0;
+  std::vector<uint64_t> final_sample;
+};
+
+QueryTranscript RunQueryTranscript(const WsworConfig& config,
+                                   const faults::FaultConfig& fault_config,
+                                   const Workload& workload,
+                                   faults::Backend backend) {
+  faults::FaultyWswor run(config, fault_config, backend);
+  query::SnapshotPublisher publisher;
+  publisher.Publish(query::CaptureSessionSnapshot(run.coordinator_session()));
+  query::QueryService service({&publisher});
+  TranscriptHash t;
+  QueryTranscript out;
+  run.Run(workload, [&](uint64_t step) {
+    publisher.Publish(
+        query::CaptureSessionSnapshot(run.coordinator_session()));
+    const query::QueryResult result = service.Query();
+    const query::ShardSnapshot& snap = result.shards[0];
+    t.Fold(step);
+    t.Fold(result.any_stale ? 1 : 0);
+    t.Fold(snap.state_version);
+    t.Fold(snap.session_epoch);
+    t.FoldDouble(snap.threshold);
+    if (result.any_stale) ++out.stale_steps;
+    for (const KeyedItem& ki : result.merged.TopEntries()) {
+      t.Fold(ki.item.id);
+      t.FoldDouble(ki.key);
+    }
+  });
+  out.hash = t.hash;
+  const faults::RunReport report = run.report();
+  out.delivered = report.delivered;
+  out.crashes = report.crashes;
+  out.final_sample = run.SampleIds();
+  return out;
+}
+
+class QueryTranscriptPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryTranscriptPropertyTest, SimAndEngineTranscriptsIdentical) {
+  const uint64_t seed = GetParam();
+  const int k = 4;
+  const Workload w = SweepWorkload(seed, k, /*items=*/800);
+  WsworConfig config;
+  config.num_sites = k;
+  config.sample_size = 8;
+  config.seed = 0xC0FFEE + seed;
+  const faults::FaultConfig fc = SweepFaults(seed);
+
+  const QueryTranscript sim =
+      RunQueryTranscript(config, fc, w, faults::Backend::kSim);
+  const QueryTranscript engine =
+      RunQueryTranscript(config, fc, w, faults::Backend::kEngine);
+  EXPECT_EQ(sim.hash, engine.hash) << " seed " << seed;
+  EXPECT_EQ(sim.stale_steps, engine.stale_steps) << " seed " << seed;
+  EXPECT_EQ(sim.delivered, engine.delivered) << " seed " << seed;
+  EXPECT_EQ(sim.crashes, engine.crashes) << " seed " << seed;
+  EXPECT_EQ(sim.final_sample, engine.final_sample) << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryTranscriptPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{50}));
 
 }  // namespace
 }  // namespace dwrs

@@ -18,6 +18,8 @@ Baseline schema (bench/baseline.json):
           "key_fields":  ["endpoint", "path"],      # row identity
           "gate_fields": ["items_per_sec"],         # higher is better
           "max_drop": 0.6,                          # optional override
+          "reference": {<key fields of one row>},   # optional, see below
+          "reference_max_drop": 0.75,               # optional
           "rows": [ {<key fields + gate fields>}, ... ]
         }
       }
@@ -29,13 +31,29 @@ throughput of a 17-thread engine on a shared CI runner needs a wider
 band — wide tolerances still catch the real cliffs (an accidental -O0
 bench build is a 5-10x drop).
 
+Normalization ("reference"): when a bench names a reference row — a
+stable single-thread measurement such as the k=2 simulator run — every
+OTHER gated row is additionally compared as a RATIO to the in-run
+reference: current_row/current_ref versus baseline_row/baseline_ref. A
+uniformly slow or fast CI runner cancels out of the ratio, so the
+normalized tolerance measures relative regressions (a lock added to a
+hot path) instead of machine speed. A normalized row fails the gate
+only when it is beyond tolerance BOTH normalized and absolutely: a
+slower runner passes via the ratio, a runner whose core count reshapes
+the multithreaded/single-thread ratio passes via the absolute number,
+and a real regression fails both. The reference row itself is gated
+absolutely with the wider "reference_max_drop" band (default 0.75) —
+its job is only to catch whole-build cliffs like an accidental -O0
+bench, which is a 5-10x drop.
+
 Rows are matched on the exact values of key_fields; a baseline row with
 no matching current row is an error (a silently vanished measurement is
 itself a regression). Current rows absent from the baseline are reported
-but do not fail the gate — run --update after intentionally adding rows.
-CI runners are noisy and heterogeneous, so the default tolerance is
-deliberately loose (25%): the gate exists to catch real cliffs (a bench
-accidentally built -O0, a lock added to a hot path), not 5% jitter.
+but do not fail the gate — run --update after intentionally adding rows
+(--update stores RAW values; normalization is applied at check time).
+--update --merge=min keeps the smaller of the stored and measured value
+per gated field, so repeated update runs converge on a conservative
+floor (the "min over repeated local runs" baselining convention).
 """
 
 import argparse
@@ -68,17 +86,39 @@ def index_rows(rows, key_fields):
     return out
 
 
+def reference_values(name, spec, base, current, failures):
+    """Returns (ref_key, {field: (base_ref, cur_ref)}) or (None, {})."""
+    if "reference" not in spec:
+        return None, {}
+    ref_key = row_key(spec["reference"], spec["key_fields"])
+    base_ref = base.get(ref_key)
+    cur_ref = current.get(ref_key)
+    if base_ref is None or cur_ref is None:
+        failures.append(f"{name}: reference row [{fmt_key(ref_key)}] missing "
+                        f"from {'baseline' if base_ref is None else 'run'} — "
+                        "cannot normalize")
+        return None, {}
+    refs = {}
+    for field in spec["gate_fields"]:
+        bv, cv = base_ref.get(field), cur_ref.get(field)
+        if bv and cv:
+            refs[field] = (bv, cv)
+    return ref_key, refs
+
+
 def check(baseline, build_dir):
     failures = []
     notes = []
     for name, spec in baseline["benches"].items():
         max_drop = float(spec.get("max_drop", baseline.get("max_drop", 0.25)))
+        ref_max_drop = float(spec.get("reference_max_drop", 0.75))
         path = os.path.join(build_dir, f"BENCH_{name}.json")
         if not os.path.exists(path):
             failures.append(f"{name}: {path} not found — bench did not run")
             continue
         current = index_rows(load_json(path)["rows"], spec["key_fields"])
         base = index_rows(spec["rows"], spec["key_fields"])
+        ref_key, refs = reference_values(name, spec, base, current, failures)
         for key, base_row in base.items():
             cur_row = current.get(key)
             if cur_row is None:
@@ -94,15 +134,42 @@ def check(baseline, build_dir):
                     failures.append(f"{name}: [{fmt_key(key)}] {field} "
                                     "missing from current run")
                     continue
-                floor = base_value * (1.0 - max_drop)
-                ratio = cur_value / base_value if base_value else float("inf")
-                line = (f"{name}: [{fmt_key(key)}] {field} "
-                        f"{cur_value:.3g} vs baseline {base_value:.3g} "
-                        f"({ratio:.2f}x)")
-                if cur_value < floor:
-                    failures.append("DROP  " + line)
+                abs_ok = cur_value >= base_value * (1.0 - max_drop)
+                abs_ratio = (cur_value / base_value if base_value
+                             else float("inf"))
+                if key == ref_key:
+                    # The reference itself: absolute gate, wide band —
+                    # catches whole-build cliffs only.
+                    ok = cur_value >= base_value * (1.0 - ref_max_drop)
+                    line = (f"{name}: [{fmt_key(key)}] {field} "
+                            f"{cur_value:.3g} vs baseline {base_value:.3g} "
+                            f"({abs_ratio:.2f}x) (reference, absolute)")
+                elif field in refs:
+                    # Normalize both sides by the in-run single-thread
+                    # reference: machine speed cancels out of the ratio.
+                    # A row fails only when it is beyond tolerance BOTH
+                    # normalized and absolutely — a slower runner passes
+                    # via the ratio, a runner whose core count reshapes
+                    # the engine/sim ratio passes via the absolute
+                    # number, and a real regression fails both.
+                    base_ref, cur_ref = refs[field]
+                    norm_base = base_value / base_ref
+                    norm_cur = cur_value / cur_ref
+                    norm_ok = norm_cur >= norm_base * (1.0 - max_drop)
+                    ok = norm_ok or abs_ok
+                    line = (f"{name}: [{fmt_key(key)}] {field} "
+                            f"{norm_cur:.3g} vs baseline {norm_base:.3g} "
+                            f"normalized ({norm_cur / norm_base:.2f}x, "
+                            f"absolute {abs_ratio:.2f}x)")
                 else:
+                    ok = abs_ok
+                    line = (f"{name}: [{fmt_key(key)}] {field} "
+                            f"{cur_value:.3g} vs baseline {base_value:.3g} "
+                            f"({abs_ratio:.2f}x)")
+                if ok:
                     notes.append("ok    " + line)
+                else:
+                    failures.append("DROP  " + line)
         for key in current:
             if key not in base:
                 notes.append(f"new   {name}: [{fmt_key(key)}] not in "
@@ -110,7 +177,7 @@ def check(baseline, build_dir):
     return failures, notes
 
 
-def update(baseline, build_dir, baseline_path):
+def update(baseline, build_dir, baseline_path, merge="replace"):
     for name, spec in baseline["benches"].items():
         path = os.path.join(build_dir, f"BENCH_{name}.json")
         if not os.path.exists(path):
@@ -123,8 +190,16 @@ def update(baseline, build_dir, baseline_path):
         # the rows it didn't produce.
         merged = index_rows(spec["rows"], spec["key_fields"])
         for row in load_json(path)["rows"]:
-            merged[row_key(row, spec["key_fields"])] = {
-                k: row[k] for k in kept_fields if k in row}
+            key = row_key(row, spec["key_fields"])
+            new_row = {k: row[k] for k in kept_fields if k in row}
+            if merge == "min" and key in merged:
+                # Conservative floor across repeated runs: keep the
+                # smaller measured value per gated field.
+                for field in spec["gate_fields"]:
+                    old = merged[key].get(field)
+                    if old is not None and field in new_row:
+                        new_row[field] = min(old, new_row[field])
+            merged[key] = new_row
         spec["rows"] = list(merged.values())
     with open(baseline_path, "w", encoding="utf-8") as f:
         json.dump(baseline, f, indent=1)
@@ -145,6 +220,11 @@ def main():
                              "their own max_drop")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current run")
+    parser.add_argument("--merge", choices=["replace", "min"],
+                        default="replace",
+                        help="with --update: 'min' keeps the smaller of "
+                             "stored and measured per gated field "
+                             "(conservative floor over repeated runs)")
     args = parser.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -155,9 +235,10 @@ def main():
         baseline["max_drop"] = args.max_drop
         for spec in baseline["benches"].values():
             spec.pop("max_drop", None)  # the flag overrides every tier
+            spec.pop("reference_max_drop", None)
 
     if args.update:
-        update(baseline, args.build_dir, baseline_path)
+        update(baseline, args.build_dir, baseline_path, args.merge)
         return 0
 
     failures, notes = check(baseline, args.build_dir)
