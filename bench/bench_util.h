@@ -17,48 +17,17 @@
 #include <vector>
 
 #include "dwrs.h"
+#include "obs/metrics.h"
 #include "util/check.h"
+#include "util/json.h"
 
 namespace dwrs::bench {
 
-// JSON scalar encoding. %g alone would print "nan"/"inf" — not JSON —
-// so non-finite measurements (a failed run, a divide-by-zero rate)
-// become null rather than corrupting BENCH_*.json for downstream
-// tooling.
-inline std::string JsonNumber(double value) {
-  if (!std::isfinite(value)) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.10g", value);
-  return buf;
-}
-
-// JSON string encoding per RFC 8259: quotes and backslashes escaped, all
-// control characters (< 0x20) emitted as \n-style shorthands or \u00XX.
-inline std::string JsonQuote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    const unsigned char u = static_cast<unsigned char>(c);
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (u < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+// JSON scalar/string encoding: the single shared implementation in
+// util/json.h (also used by the obs snapshot export and the trace
+// writer), aliased here so existing bench code keeps its spelling.
+using util::JsonNumber;
+using util::JsonQuote;
 
 // Collects rows of key/value fields and writes them as
 // BENCH_<name>.json:
@@ -134,6 +103,21 @@ class JsonBench {
   Fields params_;
   std::vector<Fields> rows_;
 };
+
+// Adds every entry of an obs::Snapshot to the current row, so bench JSON
+// and the registry/CLI export share one field schema (obs/schema.h) —
+// uint64 counters stay integral, doubles go through JsonNumber.
+inline JsonBench& SnapshotFields(JsonBench& bench,
+                                 const obs::Snapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.entries()) {
+    if (value.kind == obs::SnapshotValue::Kind::kUint) {
+      bench.Field(name, value.u);
+    } else {
+      bench.Field(name, value.d);
+    }
+  }
+  return bench;
+}
 
 // True when the bench was invoked with --quick: CI mode, where every
 // bench shrinks its workload to finish in seconds while still emitting

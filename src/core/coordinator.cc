@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "random/distributions.h"
 #include "util/check.h"
 #include "util/math_util.h"
@@ -35,6 +36,14 @@ void WsworCoordinator::MaybeAnnounceEpoch() {
   msg.type = kWsworUpdateEpoch;
   msg.x = PowInt(base_, epoch);
   msg.words = 2;
+  if (obs::TracingEnabled()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::kThresholdBump;
+    event.shard = static_cast<int16_t>(trace_shard_);
+    event.epoch = static_cast<uint32_t>(epoch);
+    event.x = msg.x;
+    obs::Emit(event);
+  }
   transport_->Broadcast(msg);
 }
 

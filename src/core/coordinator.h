@@ -81,6 +81,10 @@ class WsworCoordinator : public sim::CoordinatorNode {
 
   const LevelSetManager& levels() const { return levels_; }
 
+  // Shard label stamped on this coordinator's flight-recorder events
+  // (threshold bumps). Set by the sharded/fault harnesses; 0 otherwise.
+  void set_trace_shard(int shard) { trace_shard_ = shard; }
+
  private:
   void AddToSample(const Item& item, double key);
   void MaybeAnnounceEpoch();
@@ -92,6 +96,7 @@ class WsworCoordinator : public sim::CoordinatorNode {
   TopKeyHeap<Item> sample_;  // S
   LevelSetManager levels_;   // D with Prop. 6 compaction
   int announced_epoch_ = -1;
+  int trace_shard_ = 0;
   uint64_t early_received_ = 0;
   uint64_t regular_received_ = 0;
   uint64_t state_version_ = 0;

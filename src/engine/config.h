@@ -41,6 +41,10 @@ struct EngineConfig {
   // to Run() forces this behaviour for the duration of that Run, since
   // querying endpoints is only legal at quiesce points.
   bool step_synchronous = false;
+
+  // Shard label stamped on this engine's flight-recorder events (the
+  // sharded backend sets it per shard; standalone engines leave it 0).
+  int trace_shard = 0;
 };
 
 }  // namespace dwrs::engine

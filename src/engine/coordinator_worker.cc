@@ -1,12 +1,18 @@
 #include "engine/coordinator_worker.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace dwrs::engine {
 
 CoordinatorWorker::CoordinatorWorker(sim::CoordinatorNode* node,
-                                     size_t queue_capacity, QuiesceBus* bus)
-    : node_(node), bus_(bus), inbox_(queue_capacity) {
+                                     size_t queue_capacity, QuiesceBus* bus,
+                                     int trace_shard)
+    : node_(node),
+      bus_(bus),
+      queue_capacity_(queue_capacity),
+      trace_shard_(trace_shard),
+      inbox_(queue_capacity) {
   DWRS_CHECK(node != nullptr);
   DWRS_CHECK(bus != nullptr);
   DWRS_CHECK_GT(queue_capacity, 0u);
@@ -35,6 +41,16 @@ void CoordinatorWorker::Join() {
 void CoordinatorWorker::PushMessage(int site, const sim::Payload& msg,
                                     std::atomic<uint64_t>* stall_counter) {
   pushed_.fetch_add(1);
+  // The size hint mirrors the full-queue condition Push blocks on; an
+  // occasional false positive/negative only costs one trace event.
+  if (obs::TracingEnabled() && inbox_.SizeApprox() >= queue_capacity_) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::kBackpressureStall;
+    event.shard = static_cast<int16_t>(trace_shard_);
+    event.site = static_cast<int16_t>(site);
+    event.a = inbox_.SizeApprox();
+    obs::Emit(event);
+  }
   if (!inbox_.Push(UpstreamMessage{site, msg}, stall_counter)) {
     pushed_.fetch_sub(1);  // closed during shutdown
     return;

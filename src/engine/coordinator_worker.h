@@ -38,8 +38,9 @@ namespace dwrs::engine {
 
 class CoordinatorWorker {
  public:
+  // `trace_shard` labels this worker's flight-recorder events.
   CoordinatorWorker(sim::CoordinatorNode* node, size_t queue_capacity,
-                    QuiesceBus* bus);
+                    QuiesceBus* bus, int trace_shard = 0);
   ~CoordinatorWorker();
 
   CoordinatorWorker(const CoordinatorWorker&) = delete;
@@ -75,6 +76,8 @@ class CoordinatorWorker {
 
   sim::CoordinatorNode* const node_;
   QuiesceBus* const bus_;
+  const size_t queue_capacity_;
+  const int trace_shard_;
   std::function<void()> snapshot_hook_;  // coordinator thread only
   Channel<UpstreamMessage> inbox_;
 

@@ -43,14 +43,16 @@ void Engine::Start() {
   if (started_) return;
   DWRS_CHECK(coordinator_node_ != nullptr) << " no coordinator attached";
   coordinator_worker_ = std::make_unique<CoordinatorWorker>(
-      coordinator_node_, config_.message_queue_capacity, &bus_);
+      coordinator_node_, config_.message_queue_capacity, &bus_,
+      config_.trace_shard);
   if (snapshot_hook_) coordinator_worker_->SetSnapshotHook(snapshot_hook_);
   site_workers_.reserve(site_nodes_.size());
   for (size_t i = 0; i < site_nodes_.size(); ++i) {
     DWRS_CHECK(site_nodes_[i] != nullptr) << " site " << i << " not attached";
     site_workers_.push_back(std::make_unique<SiteWorker>(
         site_nodes_[i], config_.item_queue_batches,
-        config_.control_poll_stride, &bus_, &stats_));
+        config_.control_poll_stride, &bus_, &stats_, static_cast<int>(i),
+        config_.trace_shard));
   }
   coordinator_worker_->Start();
   for (auto& worker : site_workers_) worker->Start();

@@ -12,6 +12,7 @@ ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
   for (int shard = 0; shard < config.num_shards; ++shard) {
     EngineConfig shard_config = config.shard;
     shard_config.num_sites = topology_.SiteCount(shard);
+    shard_config.trace_shard = shard;
     shards_.push_back(std::make_unique<Engine>(shard_config));
   }
 }

@@ -1,18 +1,22 @@
 #include "engine/site_worker.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace dwrs::engine {
 
 SiteWorker::SiteWorker(sim::SiteNode* node, size_t queue_batches,
                        size_t control_poll_stride, QuiesceBus* bus,
-                       EngineStats* stats)
+                       EngineStats* stats, int site, int trace_shard)
     : node_(node),
       bus_(bus),
       stats_(stats),
       control_poll_stride_(control_poll_stride),
+      site_(site),
+      trace_shard_(trace_shard),
       items_(queue_batches),
       // One slot per in-flight batch plus slack for the buffer the feeder
       // is filling and the one the worker is draining, so the free list
@@ -58,6 +62,14 @@ void SiteWorker::PushBatch(ItemBatch&& batch,
   if (!items_.TryPush(batch)) {
     if (stall_counter != nullptr) {
       stall_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (obs::TracingEnabled()) {
+      obs::TraceEvent event;
+      event.type = obs::EventType::kIngestStall;
+      event.shard = static_cast<int16_t>(trace_shard_);
+      event.site = static_cast<int16_t>(site_);
+      event.a = batch.size();
+      obs::Emit(event);
     }
     std::unique_lock<std::mutex> lock(space_mutex_);
     while (!items_.TryPush(batch)) {
@@ -114,11 +126,28 @@ bool SiteWorker::DrainOnce() {
     // synchronization.
     const Item* data = batch.data();
     const size_t total = batch.size();
+    const bool tracing = obs::TracingEnabled();
+    std::chrono::steady_clock::time_point span_start;
+    if (tracing) span_start = std::chrono::steady_clock::now();
     for (size_t done = 0; done < total;) {
       DrainControl();
       const size_t chunk = std::min(control_poll_stride_, total - done);
       node_->OnItems(data + done, chunk);
       done += chunk;
+    }
+    if (tracing) {
+      const auto span_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - span_start)
+                               .count();
+      obs::TraceEvent event;
+      event.type = obs::EventType::kItemSpan;
+      event.shard = static_cast<int16_t>(trace_shard_);
+      event.site = static_cast<int16_t>(site_);
+      event.a = total;  // items in the batch
+      event.dur_ns = span_ns > 0 ? static_cast<uint32_t>(std::min<int64_t>(
+                                       span_ns, UINT32_MAX))
+                                 : 1;
+      obs::Emit(event);
     }
     // Return the drained buffer (capacity intact) to the feeder's free
     // list; if the list is momentarily full the buffer simply deallocates.

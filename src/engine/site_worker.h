@@ -34,9 +34,11 @@ class SiteWorker {
  public:
   // `control_poll_stride`: items handed to the endpoint per OnItems span
   // between control-channel polls. `stats` (non-owned, may outlive this
-  // worker) receives recycling counters.
+  // worker) receives recycling counters. `site`/`trace_shard` label this
+  // worker's flight-recorder events.
   SiteWorker(sim::SiteNode* node, size_t queue_batches,
-             size_t control_poll_stride, QuiesceBus* bus, EngineStats* stats);
+             size_t control_poll_stride, QuiesceBus* bus, EngineStats* stats,
+             int site = 0, int trace_shard = 0);
   ~SiteWorker();
 
   SiteWorker(const SiteWorker&) = delete;
@@ -85,6 +87,8 @@ class SiteWorker {
   QuiesceBus* const bus_;
   EngineStats* const stats_;
   const size_t control_poll_stride_;
+  const int site_;
+  const int trace_shard_;
   SpscRing<ItemBatch> items_;
   // Free list of drained batch buffers flowing back to the feeder
   // (worker = producer, feeder = consumer; SPSC like items_, reversed).

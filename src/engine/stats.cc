@@ -1,6 +1,7 @@
 #include "engine/stats.h"
 
-#include <sstream>
+#include "obs/metrics.h"
+#include "obs/schema.h"
 
 namespace dwrs::engine {
 
@@ -17,19 +18,9 @@ sim::MessageStats EngineStats::MessageSnapshot() const {
 }
 
 std::string EngineStats::ToString() const {
-  std::ostringstream os;
-  os << MessageSnapshot().ToString()
-     << " items=" << items_ingested.load(std::memory_order_relaxed)
-     << " batches=" << batches_ingested.load(std::memory_order_relaxed)
-     << " ingest_stalls=" << ingest_stalls.load(std::memory_order_relaxed)
-     << " upstream_stalls=" << upstream_stalls.load(std::memory_order_relaxed)
-     << " quiesces=" << quiesces.load(std::memory_order_relaxed)
-     << " recycled=" << batches_recycled.load(std::memory_order_relaxed)
-     << " pool_misses=" << batch_pool_misses.load(std::memory_order_relaxed)
-     << " keys_decided=" << keys_decided.load(std::memory_order_relaxed)
-     << " key_bits=" << key_bits_consumed.load(std::memory_order_relaxed)
-     << " skips=" << skips_taken.load(std::memory_order_relaxed);
-  return os.str();
+  obs::Snapshot snapshot;
+  obs::AppendEngineStats(*this, /*prefix=*/"", &snapshot);
+  return snapshot.ToText();
 }
 
 }  // namespace dwrs::engine

@@ -1,8 +1,28 @@
 #include "faults/faulty_transport.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace dwrs::faults {
+
+namespace {
+
+obs::TraceEvent FaultEvent(obs::EventType type, int shard, int site,
+                           bool upstream, const sim::Payload& msg) {
+  obs::TraceEvent event;
+  event.type = type;
+  event.shard = static_cast<int16_t>(shard);
+  event.site = static_cast<int16_t>(site);
+  event.dir = upstream ? 1 : 2;
+  event.msg_type = static_cast<uint16_t>(msg.type);
+  event.seq = msg.seq;
+  event.epoch = msg.epoch;
+  event.a = msg.a;
+  event.x = msg.x;
+  return event;
+}
+
+}  // namespace
 
 FaultyTransport::FaultyTransport(sim::Transport* inner,
                                  const FaultSchedule* schedule, int num_sites)
@@ -50,9 +70,17 @@ void FaultyTransport::Send(uint32_t channel, int site, bool upstream,
 
   if (faults.drop) {
     counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+    if (obs::TracingEnabled()) {
+      obs::Emit(FaultEvent(obs::EventType::kFaultDrop, trace_shard_, site,
+                           upstream, msg));
+    }
   } else {
     if (faults.delay > 0) {
       counters_.delayed.fetch_add(1, std::memory_order_relaxed);
+      if (obs::TracingEnabled()) {
+        obs::Emit(FaultEvent(obs::EventType::kFaultDelay, trace_shard_, site,
+                             upstream, msg));
+      }
       state.held.emplace_back(index + static_cast<uint64_t>(faults.delay),
                               msg);
     } else {
@@ -60,6 +88,10 @@ void FaultyTransport::Send(uint32_t channel, int site, bool upstream,
     }
     if (faults.duplicate) {
       counters_.duplicated.fetch_add(1, std::memory_order_relaxed);
+      if (obs::TracingEnabled()) {
+        obs::Emit(FaultEvent(obs::EventType::kFaultDup, trace_shard_, site,
+                             upstream, msg));
+      }
       Forward(site, upstream, msg);
     }
   }

@@ -64,6 +64,9 @@ class FaultyTransport : public sim::Transport {
 
   const FaultCounters& counters() const { return counters_; }
 
+  // Shard label stamped on this transport's flight-recorder events.
+  void set_trace_shard(int shard) { trace_shard_ = shard; }
+
  private:
   struct ChannelState {
     uint64_t next_index = 0;
@@ -82,6 +85,7 @@ class FaultyTransport : public sim::Transport {
   std::atomic<bool> enabled_{true};
   std::vector<ChannelState> channels_;  // 2k entries
   FaultCounters counters_;
+  int trace_shard_ = 0;
 };
 
 }  // namespace dwrs::faults

@@ -36,6 +36,7 @@
 #include "faults/faulty_transport.h"
 #include "faults/session.h"
 #include "l1/l1_tracker.h"
+#include "obs/tracing_transport.h"
 #include "random/rng.h"
 #include "sampling/mergeable_sample.h"
 #include "sim/runtime.h"
@@ -70,6 +71,16 @@ struct RunReport {
   uint64_t duplicates_dropped = 0;
   uint64_t gaps_detected = 0;
   uint64_t nacks_sent = 0;
+  // Session-layer counters that used to live only as per-session local
+  // state; surfaced so degraded-mode traffic is quantifiable end to end.
+  uint64_t retransmits_sent = 0;       // go-back-N replay messages
+  uint64_t stale_epoch_dropped = 0;    // pre-crash leftovers discarded
+  uint64_t messages_dropped_down = 0;  // arrivals at a dead process
+  // Fault-transport verdict totals (both directions combined).
+  uint64_t faults_forwarded = 0;
+  uint64_t faults_dropped = 0;
+  uint64_t faults_duplicated = 0;
+  uint64_t faults_delayed = 0;
   // True iff every stamped message was delivered exactly once: no buffer
   // was wiped mid-flight and reconcile drained everything. A clean run's
   // sample is an exact SWOR over the items processed by live sites.
@@ -163,8 +174,10 @@ class FaultyRun {
   using Config = typename Traits::Config;
   using Coordinator = typename Traits::Coordinator;
 
+  // `trace_shard` labels every flight-recorder event of this stack (the
+  // sharded harness passes the shard index; unsharded runs default to 0).
   FaultyRun(const Config& config, const FaultConfig& fault_config,
-            Backend backend)
+            Backend backend, int trace_shard = 0)
       : schedule_(fault_config), num_sites_(Traits::NumSites(config)) {
     if (backend == Backend::kSim) {
       runtime_ = std::make_unique<sim::Runtime>(num_sites_);
@@ -172,12 +185,19 @@ class FaultyRun {
       engine::EngineConfig engine_config;
       engine_config.num_sites = num_sites_;
       engine_config.step_synchronous = true;
+      engine_config.trace_shard = trace_shard;
       engine_ = std::make_unique<engine::Engine>(engine_config);
     }
     sim::Transport* inner =
         engine_ ? &engine_->transport()
                 : static_cast<sim::Transport*>(&runtime_->network());
     faulty_ = std::make_unique<FaultyTransport>(inner, &schedule_, num_sites_);
+    faulty_->set_trace_shard(trace_shard);
+    // Sessions and endpoints send through the tracing decorator, so every
+    // message is recorded as it enters the network, before the fault
+    // layer's verdict.
+    tracing_ =
+        std::make_unique<obs::TracingTransport>(faulty_.get(), trace_shard);
 
     // Seed derivation mirrors the reliable facades exactly: one master
     // draw per site in index order, then the coordinator's.
@@ -185,19 +205,24 @@ class FaultyRun {
     std::vector<uint64_t> site_seeds;
     site_seeds.reserve(static_cast<size_t>(num_sites_));
     for (int i = 0; i < num_sites_; ++i) site_seeds.push_back(master.NextU64());
-    coordinator_ = Traits::MakeCoordinator(config, faulty_.get(), master);
+    coordinator_ = Traits::MakeCoordinator(config, tracing_.get(), master);
+    if constexpr (requires { coordinator_->set_trace_shard(trace_shard); }) {
+      coordinator_->set_trace_shard(trace_shard);
+    }
     coordinator_session_ = std::make_unique<CoordinatorSession>(
-        num_sites_, coordinator_.get(), faulty_.get(),
+        num_sites_, coordinator_.get(), tracing_.get(),
         [this] { return Traits::Resync(*coordinator_); });
+    coordinator_session_->set_trace_shard(trace_shard);
 
     for (int i = 0; i < num_sites_; ++i) {
       site_sessions_.push_back(std::make_unique<SiteSession>(
-          i, faulty_.get(), &schedule_,
+          i, tracing_.get(), &schedule_,
           [config, i, seed = site_seeds[static_cast<size_t>(i)]](
               sim::Transport* upper, uint32_t epoch) {
             return Traits::MakeSite(config, i, upper,
                                     RestartSeed(seed, epoch));
           }));
+      site_sessions_.back()->set_trace_shard(trace_shard);
       if (runtime_) {
         runtime_->AttachSite(i, site_sessions_.back().get());
       } else {
@@ -270,11 +295,19 @@ class FaultyRun {
     out.duplicates_dropped = coordinator_session_->duplicates_dropped();
     out.gaps_detected = coordinator_session_->gaps_detected();
     out.nacks_sent = coordinator_session_->nacks_sent();
+    out.stale_epoch_dropped = coordinator_session_->stale_epoch_dropped();
     for (const auto& session : site_sessions_) {
       out.crashes += session->crashes();
       out.lost_unacked += session->lost_unacked();
       out.items_lost += session->items_lost();
+      out.retransmits_sent += session->retransmits_sent();
+      out.messages_dropped_down += session->messages_dropped_down();
     }
+    const FaultCounters& fc = faulty_->counters();
+    out.faults_forwarded = fc.forwarded.load(std::memory_order_relaxed);
+    out.faults_dropped = fc.dropped.load(std::memory_order_relaxed);
+    out.faults_duplicated = fc.duplicated.load(std::memory_order_relaxed);
+    out.faults_delayed = fc.delayed.load(std::memory_order_relaxed);
     out.clean =
         out.lost_unacked == 0 && coordinator_session_->AllGapsResolved();
     return out;
@@ -310,6 +343,7 @@ class FaultyRun {
   std::unique_ptr<sim::Runtime> runtime_;    // exactly one backend is set
   std::unique_ptr<engine::Engine> engine_;
   std::unique_ptr<FaultyTransport> faulty_;
+  std::unique_ptr<obs::TracingTransport> tracing_;
   std::unique_ptr<Coordinator> coordinator_;
   std::unique_ptr<CoordinatorSession> coordinator_session_;
   std::vector<std::unique_ptr<SiteSession>> site_sessions_;
@@ -351,7 +385,8 @@ class ShardedFaultyRun {
       shard_config.num_sites = topology_.SiteCount(shard);
       shard_config.seed = ShardSeed(Traits::Seed(config), shard);
       shards_.push_back(std::make_unique<FaultyRun<Traits>>(
-          shard_config, shard_faults[static_cast<size_t>(shard)], backend));
+          shard_config, shard_faults[static_cast<size_t>(shard)], backend,
+          /*trace_shard=*/shard));
     }
   }
 
@@ -386,6 +421,13 @@ class ShardedFaultyRun {
       out.duplicates_dropped += r.duplicates_dropped;
       out.gaps_detected += r.gaps_detected;
       out.nacks_sent += r.nacks_sent;
+      out.retransmits_sent += r.retransmits_sent;
+      out.stale_epoch_dropped += r.stale_epoch_dropped;
+      out.messages_dropped_down += r.messages_dropped_down;
+      out.faults_forwarded += r.faults_forwarded;
+      out.faults_dropped += r.faults_dropped;
+      out.faults_duplicated += r.faults_duplicated;
+      out.faults_delayed += r.faults_delayed;
       out.clean = out.clean && r.clean;
     }
     return out;

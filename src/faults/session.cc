@@ -2,9 +2,33 @@
 
 #include <bit>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace dwrs::faults {
+
+namespace {
+
+// Flight-recorder event carrying a session message's identity. All
+// session events are deterministic per (seeds, workload) on a
+// step-synchronous backend, so they participate in the canonical
+// transcript (obs/trace.h).
+obs::TraceEvent SessionEvent(obs::EventType type, int shard, int site,
+                             uint8_t dir, const sim::Payload& msg) {
+  obs::TraceEvent event;
+  event.type = type;
+  event.shard = static_cast<int16_t>(shard);
+  event.site = static_cast<int16_t>(site);
+  event.dir = dir;
+  event.msg_type = static_cast<uint16_t>(msg.type);
+  event.seq = msg.seq;
+  event.epoch = msg.epoch;
+  event.a = msg.a;
+  event.x = msg.x;
+  return event;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------
 // SiteSession
@@ -58,7 +82,13 @@ void SiteSession::OnItems(const Item* items, size_t n) {
         // run is exactly the per-item check.
         retransmit_pending_ = false;
         for (const sim::Payload& m : unacked_) {
-          if (m.seq >= retransmit_from_) lower_->SendToCoordinator(site_, m);
+          if (m.seq < retransmit_from_) continue;
+          ++retransmits_sent_;
+          if (obs::TracingEnabled()) {
+            obs::Emit(SessionEvent(obs::EventType::kRetransmit, trace_shard_,
+                                   site_, /*dir=*/1, m));
+          }
+          lower_->SendToCoordinator(site_, m);
         }
       }
       run_start = i;
@@ -68,6 +98,10 @@ void SiteSession::OnItems(const Item* items, size_t n) {
 }
 
 void SiteSession::OnMessage(const sim::Payload& msg) {
+  if (obs::TracingEnabled()) {
+    obs::Emit(SessionEvent(obs::EventType::kMsgRecv, trace_shard_, site_,
+                           /*dir=*/2, msg));
+  }
   if (down_) {
     // The process is dead; anything addressed to it is lost on the floor.
     ++messages_dropped_down_;
@@ -123,12 +157,26 @@ void SiteSession::RetransmitAllUnacked() {
   if (down_) return;
   retransmit_pending_ = false;
   for (const sim::Payload& m : unacked_) {
+    ++retransmits_sent_;
+    if (obs::TracingEnabled()) {
+      obs::Emit(SessionEvent(obs::EventType::kRetransmit, trace_shard_, site_,
+                             /*dir=*/1, m));
+    }
     lower_->SendToCoordinator(site_, m);
   }
 }
 
 void SiteSession::Crash() {
   ++crashes_;
+  if (obs::TracingEnabled()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::kCrash;
+    event.shard = static_cast<int16_t>(trace_shard_);
+    event.site = static_cast<int16_t>(site_);
+    event.epoch = epoch_;
+    event.a = unacked_.size();  // messages about to be irrecoverably lost
+    obs::Emit(event);
+  }
   down_ = true;
   down_remaining_ =
       static_cast<uint64_t>(schedule_->config().crash_down_items);
@@ -146,6 +194,14 @@ void SiteSession::Restart() {
   down_ = false;
   ++epoch_;
   next_seq_ = 1;
+  if (obs::TracingEnabled()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::kRestart;
+    event.shard = static_cast<int16_t>(trace_shard_);
+    event.site = static_cast<int16_t>(site_);
+    event.epoch = epoch_;
+    obs::Emit(event);
+  }
   endpoint_ = factory_(this, epoch_);
   DWRS_CHECK(endpoint_ != nullptr);
   // The hello is the first stamped message of the new epoch, so it is
@@ -201,10 +257,18 @@ void CoordinatorSession::OnMessage(int site, const sim::Payload& msg) {
   DWRS_CHECK(site >= 0 && static_cast<size_t>(site) < peers_.size());
   DWRS_CHECK_GT(msg.seq, 0u) << " unstamped message on a faulty transport";
   PeerState& peer = peers_[static_cast<size_t>(site)];
+  if (obs::TracingEnabled()) {
+    obs::Emit(SessionEvent(obs::EventType::kMsgRecv, trace_shard_, site,
+                           /*dir=*/1, msg));
+  }
 
   if (msg.epoch < peer.epoch) {
     // In-flight leftover from before the site's crash.
     ++stale_epoch_dropped_;
+    if (obs::TracingEnabled()) {
+      obs::Emit(SessionEvent(obs::EventType::kStaleEpochDrop, trace_shard_,
+                             site, /*dir=*/1, msg));
+    }
     return;
   }
   if (msg.epoch > peer.epoch) {
@@ -216,9 +280,22 @@ void CoordinatorSession::OnMessage(int site, const sim::Payload& msg) {
     peer.max_seen_seq = 0;
     peer.last_nacked_expected = 0;
     ++crash_detections_;
+    if (obs::TracingEnabled()) {
+      obs::TraceEvent event;
+      event.type = obs::EventType::kEpochBump;
+      event.shard = static_cast<int16_t>(trace_shard_);
+      event.site = static_cast<int16_t>(site);
+      event.dir = 1;
+      event.epoch = peer.epoch;
+      obs::Emit(event);
+    }
     if (resync_) {
       for (sim::Payload m : resync_()) {
         m.epoch = peer.epoch;
+        if (obs::TracingEnabled()) {
+          obs::Emit(SessionEvent(obs::EventType::kResyncSend, trace_shard_,
+                                 site, /*dir=*/2, m));
+        }
         lower_->SendToSite(site, m);
         ++resyncs_sent_;
       }
@@ -232,6 +309,10 @@ void CoordinatorSession::OnMessage(int site, const sim::Payload& msg) {
     // site retransmitting into a lost-ack window can still clear its
     // buffer.
     ++duplicates_dropped_;
+    if (obs::TracingEnabled()) {
+      obs::Emit(SessionEvent(obs::EventType::kDupDrop, trace_shard_, site,
+                             /*dir=*/1, msg));
+    }
     SendAck(site, peer);
     return;
   }
@@ -247,6 +328,10 @@ void CoordinatorSession::OnMessage(int site, const sim::Payload& msg) {
       nack.a = peer.expected_seq;
       nack.epoch = peer.epoch;
       nack.words = 2;
+      if (obs::TracingEnabled()) {
+        obs::Emit(SessionEvent(obs::EventType::kGapNack, trace_shard_, site,
+                               /*dir=*/2, nack));
+      }
       lower_->SendToSite(site, nack);
       ++nacks_sent_;
     }
@@ -257,6 +342,10 @@ void CoordinatorSession::OnMessage(int site, const sim::Payload& msg) {
   ++peer.expected_seq;
   FoldTranscript(site, msg);
   ++delivered_;
+  if (obs::TracingEnabled()) {
+    obs::Emit(SessionEvent(obs::EventType::kMsgDeliver, trace_shard_, site,
+                           /*dir=*/1, msg));
+  }
   if (msg.type != kSessionHello) inner_->OnMessage(site, msg);
   SendAck(site, peer);
 }

@@ -104,6 +104,13 @@ class SiteSession : public sim::SiteNode, public sim::Transport {
   // Items that arrived while the site was down (never sampled).
   uint64_t items_lost() const { return items_lost_; }
   uint64_t messages_dropped_down() const { return messages_dropped_down_; }
+  // Go-back-N replay traffic: messages re-sent from the unacked buffer
+  // (nack-triggered deferred replays plus reconcile-round retransmits).
+  uint64_t retransmits_sent() const { return retransmits_sent_; }
+
+  // Shard label stamped on this session's flight-recorder events
+  // (sharded harness wiring; 0 for unsharded runs).
+  void set_trace_shard(int shard) { trace_shard_ = shard; }
 
  private:
   void Crash();
@@ -137,6 +144,8 @@ class SiteSession : public sim::SiteNode, public sim::Transport {
   uint64_t lost_unacked_ = 0;
   uint64_t items_lost_ = 0;
   uint64_t messages_dropped_down_ = 0;
+  uint64_t retransmits_sent_ = 0;
+  int trace_shard_ = 0;
   // Hot-path counters of endpoints destroyed by crashes.
   sim::SiteHotPathCounters pre_crash_counters_;
 };
@@ -182,6 +191,9 @@ class CoordinatorSession : public sim::CoordinatorNode {
   uint64_t crash_detections() const { return crash_detections_; }
   uint64_t resyncs_sent() const { return resyncs_sent_; }
 
+  // Shard label for this session's flight-recorder events.
+  void set_trace_shard(int shard) { trace_shard_ = shard; }
+
   // True iff no site has an outstanding unfilled gap (every delivered
   // prefix is contiguous and nothing received still waits on a nack).
   bool AllGapsResolved() const;
@@ -217,6 +229,7 @@ class CoordinatorSession : public sim::CoordinatorNode {
   uint64_t nacks_sent_ = 0;
   uint64_t crash_detections_ = 0;
   uint64_t resyncs_sent_ = 0;
+  int trace_shard_ = 0;
 };
 
 }  // namespace dwrs::faults

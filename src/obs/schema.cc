@@ -1,0 +1,98 @@
+#include "obs/schema.h"
+
+#include <atomic>
+
+#include "engine/stats.h"
+#include "faults/faulty_transport.h"
+#include "faults/harness.h"
+#include "sim/message.h"
+#include "sim/node.h"
+
+namespace dwrs::obs {
+
+namespace {
+
+std::string Join(const std::string& prefix, const char* leaf) {
+  if (prefix.empty()) return leaf;
+  return prefix + "/" + leaf;
+}
+
+}  // namespace
+
+void AppendMessageStats(const sim::MessageStats& stats,
+                        const std::string& prefix, Snapshot* out) {
+  out->Append(Join(prefix, "messages"), stats.total_messages());
+  out->Append(Join(prefix, "site_to_coord"), stats.site_to_coord);
+  out->Append(Join(prefix, "coord_to_site"), stats.coord_to_site);
+  out->Append(Join(prefix, "broadcast_events"), stats.broadcast_events);
+  out->Append(Join(prefix, "words"), stats.words);
+  for (size_t i = 0; i < stats.by_type.size(); ++i) {
+    if (stats.by_type[i] == 0) continue;
+    out->Append(Join(prefix, ("by_type/" + std::to_string(i)).c_str()),
+                stats.by_type[i]);
+  }
+}
+
+void AppendHotPathCounters(const sim::SiteHotPathCounters& counters,
+                           const std::string& prefix, Snapshot* out) {
+  out->Append(Join(prefix, "keys_decided"), counters.keys_decided);
+  out->Append(Join(prefix, "key_bits_consumed"), counters.key_bits_consumed);
+  out->Append(Join(prefix, "skips_taken"), counters.skips_taken);
+}
+
+void AppendEngineStats(const engine::EngineStats& stats,
+                       const std::string& prefix, Snapshot* out) {
+  const auto get = [](const std::atomic<uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  AppendMessageStats(stats.MessageSnapshot(), prefix, out);
+  out->Append(Join(prefix, "items_ingested"), get(stats.items_ingested));
+  out->Append(Join(prefix, "batches_ingested"), get(stats.batches_ingested));
+  out->Append(Join(prefix, "ingest_stalls"), get(stats.ingest_stalls));
+  out->Append(Join(prefix, "upstream_stalls"), get(stats.upstream_stalls));
+  out->Append(Join(prefix, "quiesces"), get(stats.quiesces));
+  out->Append(Join(prefix, "batches_recycled"), get(stats.batches_recycled));
+  out->Append(Join(prefix, "batch_pool_misses"), get(stats.batch_pool_misses));
+  sim::SiteHotPathCounters hot;
+  hot.keys_decided = get(stats.keys_decided);
+  hot.key_bits_consumed = get(stats.key_bits_consumed);
+  hot.skips_taken = get(stats.skips_taken);
+  AppendHotPathCounters(hot, prefix, out);
+}
+
+void AppendFaultReport(const faults::RunReport& report,
+                       const std::string& prefix, Snapshot* out) {
+  out->Append(Join(prefix, "transcript_hash"), report.transcript_hash);
+  out->Append(Join(prefix, "delivered"), report.delivered);
+  out->Append(Join(prefix, "crashes"), report.crashes);
+  out->Append(Join(prefix, "crash_detections"), report.crash_detections);
+  out->Append(Join(prefix, "resyncs_sent"), report.resyncs_sent);
+  out->Append(Join(prefix, "lost_unacked"), report.lost_unacked);
+  out->Append(Join(prefix, "items_lost"), report.items_lost);
+  out->Append(Join(prefix, "duplicates_dropped"), report.duplicates_dropped);
+  out->Append(Join(prefix, "gaps_detected"), report.gaps_detected);
+  out->Append(Join(prefix, "nacks_sent"), report.nacks_sent);
+  out->Append(Join(prefix, "retransmits_sent"), report.retransmits_sent);
+  out->Append(Join(prefix, "stale_epoch_dropped"), report.stale_epoch_dropped);
+  out->Append(Join(prefix, "messages_dropped_down"),
+              report.messages_dropped_down);
+  out->Append(Join(prefix, "faults_forwarded"), report.faults_forwarded);
+  out->Append(Join(prefix, "faults_dropped"), report.faults_dropped);
+  out->Append(Join(prefix, "faults_duplicated"), report.faults_duplicated);
+  out->Append(Join(prefix, "faults_delayed"), report.faults_delayed);
+  out->Append(Join(prefix, "clean"),
+              static_cast<uint64_t>(report.clean ? 1 : 0));
+}
+
+void AppendFaultCounters(const faults::FaultCounters& counters,
+                         const std::string& prefix, Snapshot* out) {
+  const auto get = [](const std::atomic<uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  out->Append(Join(prefix, "forwarded"), get(counters.forwarded));
+  out->Append(Join(prefix, "dropped"), get(counters.dropped));
+  out->Append(Join(prefix, "duplicated"), get(counters.duplicated));
+  out->Append(Join(prefix, "delayed"), get(counters.delayed));
+}
+
+}  // namespace dwrs::obs

@@ -1,0 +1,42 @@
+#include "obs/tracing_transport.h"
+
+#include "util/check.h"
+
+namespace dwrs::obs {
+
+TracingTransport::TracingTransport(sim::Transport* inner, int shard)
+    : inner_(inner), shard_(shard) {
+  DWRS_CHECK(inner != nullptr);
+}
+
+void TracingTransport::Record(int site, uint8_t dir, const sim::Payload& msg) {
+  TraceEvent event;
+  event.type = EventType::kMsgSend;
+  event.shard = static_cast<int16_t>(shard_);
+  event.site = static_cast<int16_t>(site);
+  event.dir = dir;
+  event.msg_type = static_cast<uint16_t>(msg.type);
+  event.seq = msg.seq;
+  event.epoch = msg.epoch;
+  event.a = msg.a;
+  event.x = msg.x;
+  event.step = inner_->step();
+  Emit(event);
+}
+
+void TracingTransport::SendToCoordinator(int site, const sim::Payload& msg) {
+  if (TracingEnabled()) Record(site, /*dir=*/1, msg);
+  inner_->SendToCoordinator(site, msg);
+}
+
+void TracingTransport::SendToSite(int site, const sim::Payload& msg) {
+  if (TracingEnabled()) Record(site, /*dir=*/2, msg);
+  inner_->SendToSite(site, msg);
+}
+
+void TracingTransport::Broadcast(const sim::Payload& msg) {
+  if (TracingEnabled()) Record(/*site=*/-1, /*dir=*/2, msg);
+  inner_->Broadcast(msg);
+}
+
+}  // namespace dwrs::obs

@@ -10,6 +10,7 @@ LiveShardPublishers::LiveShardPublishers(int num_shards) {
   publishers_.reserve(static_cast<size_t>(num_shards));
   for (int j = 0; j < num_shards; ++j) {
     publishers_.push_back(std::make_unique<SnapshotPublisher>());
+    publishers_.back()->set_trace_shard(j);
   }
 }
 

@@ -1,7 +1,10 @@
 #include "query/query_service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace dwrs::query {
@@ -15,6 +18,11 @@ QueryService::QueryService(std::vector<const SnapshotPublisher*> shards)
 }
 
 QueryResult QueryService::Query() const {
+  // Timing only when someone observes it: tracing or a histogram. The
+  // untimed fast path costs one relaxed load and one null check.
+  const bool timed = latency_us_ != nullptr || obs::TracingEnabled();
+  std::chrono::steady_clock::time_point start;
+  if (timed) start = std::chrono::steady_clock::now();
   QueryResult out;
   out.complete = true;
   out.shards.resize(shards_.size());
@@ -41,6 +49,25 @@ QueryResult QueryService::Query() const {
     summaries.push_back(snap.sample);
   }
   out.merged = MergeShardSamples(summaries);
+  if (timed) {
+    const auto dur_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    if (latency_us_ != nullptr) {
+      latency_us_->Record(static_cast<double>(dur_ns) / 1000.0);
+    }
+    if (obs::TracingEnabled()) {
+      obs::TraceEvent event;
+      event.type = obs::EventType::kQueryServe;
+      event.a = summaries.size();  // shards merged into this answer
+      event.step = out.steps;
+      event.dir = out.any_stale ? 1 : 0;
+      event.dur_ns = dur_ns > 0 ? static_cast<uint32_t>(std::min<int64_t>(
+                                      dur_ns, UINT32_MAX))
+                                : 1;
+      obs::Emit(event);
+    }
+  }
   return out;
 }
 

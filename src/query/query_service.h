@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "estimators/swor_estimators.h"
+#include "obs/metrics.h"
 #include "query/snapshot.h"
 #include "sampling/keyed_item.h"
 #include "sampling/mergeable_sample.h"
@@ -108,8 +109,17 @@ class QueryService {
   double SubsetCount(const std::function<bool(const Item&)>& pred) const;
   double TotalWeight() const;
 
+  // Optional serve-latency histogram (microseconds). When set, every
+  // Query() records its wall-clock duration; the histogram's Record is
+  // wait-free, so concurrent query threads stay lock-free. Set before
+  // the first query; the histogram must outlive the service.
+  void set_latency_histogram(obs::LatencyHistogram* histogram) {
+    latency_us_ = histogram;
+  }
+
  private:
   std::vector<const SnapshotPublisher*> shards_;
+  obs::LatencyHistogram* latency_us_ = nullptr;
 };
 
 }  // namespace dwrs::query

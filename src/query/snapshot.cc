@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace dwrs::query {
@@ -63,6 +64,17 @@ void SnapshotPublisher::Publish(ShardSnapshot snap) {
     have_clean_ = true;
   }
   published_state_version_ = snap.state_version;
+  if (obs::TracingEnabled()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::kSnapshotPublish;
+    event.shard = static_cast<int16_t>(trace_shard_);
+    event.a = snap.publish_seq;
+    event.epoch = static_cast<uint32_t>(snap.session_epoch);
+    event.step = snap.steps;
+    event.x = snap.threshold;
+    event.dir = snap.stale ? 1 : 0;
+    obs::Emit(event);
+  }
   Node* node = AcquireFreeNode();
   node->snap = std::move(snap);
   latest_.store(node, std::memory_order_seq_cst);

@@ -113,6 +113,10 @@ class SnapshotPublisher {
   // snapshot back out.
   uint64_t published_state_version() const { return published_state_version_; }
 
+  // Shard label stamped on this publisher's flight-recorder events
+  // (writer thread only; set before the first Publish).
+  void set_trace_shard(int shard) { trace_shard_ = shard; }
+
  private:
   struct Node {
     ShardSnapshot snap;
@@ -131,6 +135,7 @@ class SnapshotPublisher {
   std::vector<std::unique_ptr<Node>> pool_;
   uint64_t next_seq_ = 0;
   uint64_t published_state_version_ = 0;
+  int trace_shard_ = 0;
   ShardSnapshot last_clean_;
   bool have_clean_ = false;
 };

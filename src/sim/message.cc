@@ -1,15 +1,14 @@
 #include "sim/message.h"
 
-#include <sstream>
+#include "obs/metrics.h"
+#include "obs/schema.h"
 
 namespace dwrs::sim {
 
 std::string MessageStats::ToString() const {
-  std::ostringstream out;
-  out << "messages=" << total_messages() << " (up=" << site_to_coord
-      << ", down=" << coord_to_site << ", broadcasts=" << broadcast_events
-      << "), words=" << words;
-  return out.str();
+  obs::Snapshot snapshot;
+  obs::AppendMessageStats(*this, /*prefix=*/"", &snapshot);
+  return snapshot.ToText();
 }
 
 }  // namespace dwrs::sim

@@ -1,0 +1,55 @@
+// Minimal JSON scalar/string encoding shared by every emitter in the
+// tree (obs snapshots, bench BENCH_*.json, the CLI's stats/trace
+// output). One definition so the escaping and non-finite handling can
+// never drift between paths.
+
+#ifndef DWRS_UTIL_JSON_H_
+#define DWRS_UTIL_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace dwrs::util {
+
+// %g alone would print "nan"/"inf" — not JSON — so non-finite values (a
+// failed run, a divide-by-zero rate) become null rather than corrupting
+// the output for downstream tooling.
+inline std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+// JSON string encoding per RFC 8259: quotes and backslashes escaped, all
+// control characters (< 0x20) emitted as \n-style shorthands or \u00XX.
+inline std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace dwrs::util
+
+#endif  // DWRS_UTIL_JSON_H_

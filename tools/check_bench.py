@@ -17,7 +17,9 @@ Baseline schema (bench/baseline.json):
         "<bench name>": {
           "key_fields":  ["endpoint", "path"],      # row identity
           "gate_fields": ["items_per_sec"],         # higher is better
+          "gate_fields_lower": ["query_us_mean"],   # lower is better
           "max_drop": 0.6,                          # optional override
+          "max_rise": 3.0,                          # optional, lower fields
           "reference": {<key fields of one row>},   # optional, see below
           "reference_max_drop": 0.75,               # optional
           "rows": [ {<key fields + gate fields>}, ... ]
@@ -45,6 +47,13 @@ and a real regression fails both. The reference row itself is gated
 absolutely with the wider "reference_max_drop" band (default 0.75) —
 its job is only to catch whole-build cliffs like an accidental -O0
 bench, which is a 5-10x drop.
+
+Lower-is-better fields ("gate_fields_lower", e.g. a query latency mean)
+are gated absolutely and in the opposite direction: the row fails when
+the current value exceeds baseline * (1 + max_rise). Latency on a shared
+runner is noisier than throughput, so max_rise defaults to a wide 3.0 —
+the gate exists to catch order-of-magnitude cliffs (a lock added to the
+query path), not jitter. Normalization does not apply to lower fields.
 
 Rows are matched on the exact values of key_fields; a baseline row with
 no matching current row is an error (a silently vanished measurement is
@@ -112,6 +121,7 @@ def check(baseline, build_dir):
     for name, spec in baseline["benches"].items():
         max_drop = float(spec.get("max_drop", baseline.get("max_drop", 0.25)))
         ref_max_drop = float(spec.get("reference_max_drop", 0.75))
+        max_rise = float(spec.get("max_rise", baseline.get("max_rise", 3.0)))
         path = os.path.join(build_dir, f"BENCH_{name}.json")
         if not os.path.exists(path):
             failures.append(f"{name}: {path} not found — bench did not run")
@@ -170,6 +180,26 @@ def check(baseline, build_dir):
                     notes.append("ok    " + line)
                 else:
                     failures.append("DROP  " + line)
+            for field in spec.get("gate_fields_lower", []):
+                base_value = base_row.get(field)
+                cur_value = cur_row.get(field)
+                if base_value is None:
+                    continue
+                if cur_value is None:
+                    failures.append(f"{name}: [{fmt_key(key)}] {field} "
+                                    "missing from current run")
+                    continue
+                # Lower is better: absolute ceiling only (latency is too
+                # noisy for ratio normalization to help).
+                ratio = (cur_value / base_value if base_value
+                         else float("inf"))
+                line = (f"{name}: [{fmt_key(key)}] {field} "
+                        f"{cur_value:.3g} vs baseline {base_value:.3g} "
+                        f"({ratio:.2f}x, lower is better)")
+                if cur_value <= base_value * (1.0 + max_rise):
+                    notes.append("ok    " + line)
+                else:
+                    failures.append("RISE  " + line)
         for key in current:
             if key not in base:
                 notes.append(f"new   {name}: [{fmt_key(key)}] not in "
@@ -184,7 +214,8 @@ def update(baseline, build_dir, baseline_path, merge="replace"):
             print(f"warning: {path} not found — keeping {name}'s "
                   "baseline rows unchanged")
             continue
-        kept_fields = spec["key_fields"] + spec["gate_fields"]
+        lower_fields = spec.get("gate_fields_lower", [])
+        kept_fields = spec["key_fields"] + spec["gate_fields"] + lower_fields
         # Merge by key rather than replace: a restricted run (e.g.
         # bench_engine_throughput --shards=2) must not silently un-gate
         # the rows it didn't produce.
@@ -193,12 +224,17 @@ def update(baseline, build_dir, baseline_path, merge="replace"):
             key = row_key(row, spec["key_fields"])
             new_row = {k: row[k] for k in kept_fields if k in row}
             if merge == "min" and key in merged:
-                # Conservative floor across repeated runs: keep the
-                # smaller measured value per gated field.
+                # Conservative merge across repeated runs: keep the
+                # smaller throughput but the LARGER latency, so both
+                # gates converge on their loosest observed bound.
                 for field in spec["gate_fields"]:
                     old = merged[key].get(field)
                     if old is not None and field in new_row:
                         new_row[field] = min(old, new_row[field])
+                for field in lower_fields:
+                    old = merged[key].get(field)
+                    if old is not None and field in new_row:
+                        new_row[field] = max(old, new_row[field])
             merged[key] = new_row
         spec["rows"] = list(merged.values())
     with open(baseline_path, "w", encoding="utf-8") as f:

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Flight-recorder trace validator (CI trace smoke job).
+
+Checks a Chrome trace_event JSON produced by `dwrs_cli trace`:
+
+  1. the file parses and is non-empty;
+  2. every event type expected from a faulty sharded run is present
+     (drop + dup + crash faults exercise the whole session layer);
+  3. per-message causality holds: every in-order delivery at the
+     coordinator session maps to a recorded send with the same
+     (shard, site, epoch, seq) stamp, and no stamp is delivered twice;
+  4. optionally (--report), event counts reconcile field for field with
+     the fault-report snapshot the CLI printed on stdout: deliveries,
+     duplicate drops, crashes/restarts, resyncs, nacks, retransmits and
+     fault-layer verdicts each match their RunReport counter.
+
+Usage:
+    dwrs_cli trace --n=20000 --out=trace.json > report.json
+    python3 tools/check_trace.py trace.json --report report.json
+"""
+
+import argparse
+import json
+import sys
+
+# Event types a drop+dup+crash sharded run must produce. Types that need
+# extra ingredients (fault_delay needs --delay, stalls need an
+# oversubscribed engine, snapshot/query events need the live-query
+# layer) are deliberately not required.
+REQUIRED_TYPES = {
+    "msg_send", "msg_recv", "msg_deliver", "dup_drop", "gap_nack",
+    "threshold_bump", "fault_drop", "fault_dup", "crash", "restart",
+    "retransmit", "epoch_bump", "resync_send", "item_span",
+}
+
+# trace event name -> fault-report snapshot field whose value must equal
+# the event count (exact: the recorder emits one event per increment).
+REPORT_COUNTS = {
+    "msg_deliver": "faults/delivered",
+    "dup_drop": "faults/duplicates_dropped",
+    "crash": "faults/crashes",
+    "restart": "faults/crashes",
+    "epoch_bump": "faults/crash_detections",
+    "resync_send": "faults/resyncs_sent",
+    "gap_nack": "faults/nacks_sent",
+    "retransmit": "faults/retransmits_sent",
+    "stale_epoch_drop": "faults/stale_epoch_dropped",
+    "fault_drop": "faults/faults_dropped",
+    "fault_dup": "faults/faults_duplicated",
+    "fault_delay": "faults/faults_delayed",
+}
+
+
+def fail(msg):
+    print("FAIL " + msg, file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace JSON from dwrs_cli trace")
+    parser.add_argument("--report", default=None,
+                        help="fault-report snapshot JSON (the CLI's stdout); "
+                             "enables count reconciliation")
+    args = parser.parse_args()
+
+    with open(args.trace, "r", encoding="utf-8") as f:
+        trace = json.load(f)
+    events = trace["traceEvents"]
+    if not events:
+        return fail("trace has no events")
+
+    rc = 0
+    counts = {}
+    for e in events:
+        counts[e["name"]] = counts.get(e["name"], 0) + 1
+    missing = REQUIRED_TYPES - counts.keys()
+    if missing:
+        rc |= fail(f"missing event types: {sorted(missing)}")
+
+    # Causality: delivery implies a recorded upstream send of the same
+    # (shard, site, epoch, seq), and each stamp is delivered at most
+    # once. Only stamped messages (seq > 0) participate.
+    sends = set()
+    for e in events:
+        a = e["args"]
+        if e["name"] == "msg_send" and a["dir"] == 1 and a["seq"] > 0:
+            sends.add((a["shard"], a["site"], a["epoch"], a["seq"]))
+    delivered = set()
+    for e in events:
+        if e["name"] != "msg_deliver":
+            continue
+        a = e["args"]
+        key = (a["shard"], a["site"], a["epoch"], a["seq"])
+        if key in delivered:
+            rc |= fail(f"stamp delivered twice: {key}")
+        delivered.add(key)
+        if a["seq"] > 0 and key not in sends:
+            rc |= fail(f"delivery without a recorded send: {key}")
+
+    report = None
+    if args.report:
+        with open(args.report, "r", encoding="utf-8") as f:
+            report = json.load(f)
+        if report.get("trace/dropped", 0) != 0:
+            print(f"note: {report['trace/dropped']} events overwritten on "
+                  "ring wrap — skipping count reconciliation")
+        else:
+            for name, field in REPORT_COUNTS.items():
+                want = report.get(field)
+                got = counts.get(name, 0)
+                if want is None:
+                    rc |= fail(f"report is missing {field}")
+                elif want != got:
+                    rc |= fail(f"{name} count {got} != {field} {want}")
+
+    if rc == 0:
+        print(f"trace ok: {len(events)} events, {len(counts)} types, "
+              f"{len(delivered)} causally-matched deliveries"
+              + (", counts reconcile with the fault report" if report
+                 else ""))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,9 @@
 // scripted without writing C++.
 //
 // Usage:
+//   dwrs_cli [stats|trace] [flags]
+//
+// Default (no subcommand): run one sampler/tracker and print totals.
 //   dwrs_cli [--algo=wswor|naive|uswor|wswr|residual_hh|l1|det_l1|sqrtk_l1]
 //            [--k=16] [--s=32] [--n=100000] [--seed=1]
 //            [--eps=0.1] [--delta=0.1]
@@ -12,21 +15,39 @@
 //            [--partition=random | rr | single | block:64]
 //            [--window=4096]  (algo=window)
 //            [--csv]          (print a single machine-readable row)
+//
+// `stats`: same run, but print the unified observability snapshot as
+// JSON — the exact field schema of obs/schema.h, shared with the bench
+// JSON rows and every ToString in the tree.
+//
+// `trace`: seeded faulty sharded wswor run with the flight recorder on;
+// writes Chrome trace_event JSON (chrome://tracing, Perfetto) to --out
+// and prints the run's fault-report snapshot as JSON. Extra flags:
+//   [--shards=4] [--drop=0.05] [--dup=0.05] [--delay=0] [--crash=0.002]
+//   [--fault-seed=7] [--backend=engine|sim] [--out=trace.json]
+//   [--deterministic]  (zero timestamps: same seed => same event stream)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dwrs.h"
+#include "faults/harness.h"
+#include "obs/metrics.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
+#include "util/json.h"
 #include "util/math_util.h"
 
 namespace dwrs {
 namespace {
 
 struct Options {
+  std::string mode = "run";  // run | stats | trace (argv[1] subcommand)
   std::string algo = "wswor";
   int k = 16;
   int s = 32;
@@ -38,6 +59,16 @@ struct Options {
   std::string dist = "uniform:1,16";
   std::string partition = "random";
   bool csv = false;
+  // trace-mode fault schedule and output.
+  int shards = 4;
+  double drop = 0.05;
+  double dup = 0.05;
+  double delay = 0.0;
+  double crash = 0.002;
+  uint64_t fault_seed = 7;
+  std::string backend = "engine";
+  std::string out = "trace.json";
+  bool deterministic = false;
 };
 
 bool ConsumeFlag(const char* arg, const char* name, std::string* value) {
@@ -50,7 +81,17 @@ bool ConsumeFlag(const char* arg, const char* name, std::string* value) {
 
 Options Parse(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
+  int first_flag = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    opt.mode = argv[1];
+    if (opt.mode != "stats" && opt.mode != "trace") {
+      std::fprintf(stderr, "unknown subcommand: %s (stats|trace)\n",
+                   argv[1]);
+      std::exit(2);
+    }
+    first_flag = 2;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     std::string v;
     if (ConsumeFlag(argv[i], "--algo", &v)) {
       opt.algo = v;
@@ -74,6 +115,24 @@ Options Parse(int argc, char** argv) {
       opt.partition = v;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       opt.csv = true;
+    } else if (ConsumeFlag(argv[i], "--shards", &v)) {
+      opt.shards = std::atoi(v.c_str());
+    } else if (ConsumeFlag(argv[i], "--drop", &v)) {
+      opt.drop = std::atof(v.c_str());
+    } else if (ConsumeFlag(argv[i], "--dup", &v)) {
+      opt.dup = std::atof(v.c_str());
+    } else if (ConsumeFlag(argv[i], "--delay", &v)) {
+      opt.delay = std::atof(v.c_str());
+    } else if (ConsumeFlag(argv[i], "--crash", &v)) {
+      opt.crash = std::atof(v.c_str());
+    } else if (ConsumeFlag(argv[i], "--fault-seed", &v)) {
+      opt.fault_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ConsumeFlag(argv[i], "--backend", &v)) {
+      opt.backend = v;
+    } else if (ConsumeFlag(argv[i], "--out", &v)) {
+      opt.out = v;
+    } else if (std::strcmp(argv[i], "--deterministic") == 0) {
+      opt.deterministic = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -130,6 +189,7 @@ struct RunResult {
   uint64_t broadcasts = 0;
   double theory = 0.0;
   std::string extra;
+  sim::MessageStats stats;  // full counters, for the stats subcommand
 };
 
 RunResult Dispatch(const Options& opt, const Workload& w) {
@@ -142,13 +202,13 @@ RunResult Dispatch(const Options& opt, const Workload& w) {
     r = {sampler.stats().total_messages(), sampler.stats().words,
          sampler.stats().broadcast_events,
          Theorem3MessageBound(opt.k, opt.s, total),
-         "sample=" + std::to_string(sampler.Sample().size())};
+         "sample=" + std::to_string(sampler.Sample().size()), sampler.stats()};
   } else if (opt.algo == "naive") {
     NaiveDistributedWswor sampler(opt.k, opt.s, opt.seed);
     sampler.Run(w);
     r = {sampler.stats().total_messages(), sampler.stats().words,
          sampler.stats().broadcast_events,
-         NaiveMessageBound(opt.k, opt.s, total), ""};
+         NaiveMessageBound(opt.k, opt.s, total), "", sampler.stats()};
   } else if (opt.algo == "uswor") {
     UsworConfig config;
     config.num_sites = opt.k;
@@ -158,14 +218,14 @@ RunResult Dispatch(const Options& opt, const Workload& w) {
     sampler.Run(w);
     r = {sampler.stats().total_messages(), sampler.stats().words,
          sampler.stats().broadcast_events,
-         Theorem3MessageBound(opt.k, opt.s, static_cast<double>(opt.n)), ""};
+         Theorem3MessageBound(opt.k, opt.s, static_cast<double>(opt.n)), "", sampler.stats()};
   } else if (opt.algo == "wswr") {
     DistributedWeightedSwr sampler(opt.k, opt.s, opt.seed);
     sampler.Run(w);
     r = {sampler.stats().total_messages(), sampler.stats().words,
          sampler.stats().broadcast_events,
          Corollary1MessageBound(opt.k, opt.s, total),
-         "distinct=" + std::to_string(sampler.DistinctInSample())};
+         "distinct=" + std::to_string(sampler.DistinctInSample()), sampler.stats()};
   } else if (opt.algo == "residual_hh") {
     ResidualHeavyHitterTracker tracker(
         ResidualHhConfig{opt.k, opt.eps, opt.delta, opt.seed});
@@ -173,7 +233,7 @@ RunResult Dispatch(const Options& opt, const Workload& w) {
     r = {tracker.stats().total_messages(), tracker.stats().words,
          tracker.stats().broadcast_events,
          Theorem4MessageBound(opt.k, opt.eps, opt.delta, total),
-         "reported=" + std::to_string(tracker.HeavyHitters().size())};
+         "reported=" + std::to_string(tracker.HeavyHitters().size()), tracker.stats()};
   } else if (opt.algo == "l1") {
     L1Tracker tracker(L1TrackerConfig{
         .num_sites = opt.k, .eps = opt.eps, .delta = opt.delta,
@@ -184,7 +244,7 @@ RunResult Dispatch(const Options& opt, const Workload& w) {
                   tracker.Estimate(), total);
     r = {tracker.stats().total_messages(), tracker.stats().words,
          tracker.stats().broadcast_events,
-         Theorem6MessageBound(opt.k, opt.eps, opt.delta, total), buf};
+         Theorem6MessageBound(opt.k, opt.eps, opt.delta, total), buf, tracker.stats()};
   } else if (opt.algo == "det_l1") {
     DeterministicL1Tracker tracker(opt.k, opt.eps);
     tracker.Run(w);
@@ -193,7 +253,7 @@ RunResult Dispatch(const Options& opt, const Workload& w) {
                   tracker.Estimate(), total);
     r = {tracker.stats().total_messages(), tracker.stats().words,
          tracker.stats().broadcast_events,
-         opt.k * std::log(std::max(2.0, total)) / opt.eps, buf};
+         opt.k * std::log(std::max(2.0, total)) / opt.eps, buf, tracker.stats()};
   } else if (opt.algo == "sqrtk_l1") {
     SqrtkL1Tracker tracker(opt.k, opt.eps, opt.seed);
     tracker.Run(w);
@@ -202,7 +262,7 @@ RunResult Dispatch(const Options& opt, const Workload& w) {
                   tracker.Estimate(), total);
     r = {tracker.stats().total_messages(), tracker.stats().words,
          tracker.stats().broadcast_events,
-         HyzMessageBound(opt.k, opt.eps, total), buf};
+         HyzMessageBound(opt.k, opt.eps, total), buf, tracker.stats()};
   } else if (opt.algo == "window") {
     DistributedWindowWswor sampler(WindowConfig{
         opt.k, opt.s, opt.window, opt.seed});
@@ -210,12 +270,93 @@ RunResult Dispatch(const Options& opt, const Workload& w) {
     r = {sampler.stats().total_messages(), sampler.stats().words,
          sampler.stats().broadcast_events, 0.0,
          "sample=" + std::to_string(sampler.Sample().size()) +
-             " skyline=" + std::to_string(sampler.CoordinatorSkyline())};
+             " skyline=" + std::to_string(sampler.CoordinatorSkyline()), sampler.stats()};
   } else {
     std::fprintf(stderr, "unknown --algo: %s\n", opt.algo.c_str());
     std::exit(2);
   }
   return r;
+}
+
+// `stats`: one run, exported through the registry -> snapshot -> JSON
+// path every other emitter (bench rows, ToString) uses. The algo and
+// workload strings are spliced in front (Snapshot holds numbers only).
+int RunStatsMode(const Options& opt, const Workload& w) {
+  const RunResult result = Dispatch(opt, w);
+  obs::Registry registry;
+  registry.AddCollector([&](obs::Snapshot* snap) {
+    snap->Append("k", static_cast<uint64_t>(opt.k));
+    snap->Append("s", static_cast<uint64_t>(opt.s));
+    snap->Append("n", opt.n);
+    snap->Append("seed", opt.seed);
+    snap->Append("total_weight", w.TotalWeight());
+    AppendMessageStats(result.stats, "", snap);
+    snap->Append("theory_bound", result.theory);
+  });
+  const std::string body = registry.ToJson();
+  std::printf("{\"algo\": %s, \"dist\": %s, \"partition\": %s%s%s\n",
+              util::JsonQuote(opt.algo).c_str(),
+              util::JsonQuote(opt.dist).c_str(),
+              util::JsonQuote(opt.partition).c_str(),
+              body == "{}" ? "" : ", ", body.c_str() + 1);
+  return 0;
+}
+
+// `trace`: the acceptance scenario as a command — seeded faulty sharded
+// wswor with the flight recorder on, Chrome trace JSON to --out, the
+// fault-report snapshot to stdout. CI's trace smoke job runs this and
+// validates the file with tools/check_trace.py.
+int RunTraceMode(const Options& opt, const Workload& w) {
+  if (opt.backend != "engine" && opt.backend != "sim") {
+    std::fprintf(stderr, "unknown --backend: %s (engine|sim)\n",
+                 opt.backend.c_str());
+    return 2;
+  }
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+  recorder.Enable(1 << 16, opt.deterministic);
+  if (!obs::TracingEnabled()) {
+    std::fprintf(stderr,
+                 "tracing compiled out (-DDWRS_TRACING=OFF); no trace\n");
+    return 1;
+  }
+
+  const WsworConfig config{
+      .num_sites = opt.k, .sample_size = opt.s, .seed = opt.seed};
+  std::vector<faults::FaultConfig> shard_faults;
+  for (int j = 0; j < opt.shards; ++j) {
+    faults::FaultConfig fc;
+    fc.seed = opt.fault_seed + static_cast<uint64_t>(j);
+    fc.drop_prob = opt.drop;
+    fc.duplicate_prob = opt.dup;
+    fc.delay_prob = opt.delay;
+    fc.crash_prob = opt.crash;
+    shard_faults.push_back(fc);
+  }
+  const auto backend = opt.backend == "sim" ? faults::Backend::kSim
+                                            : faults::Backend::kEngine;
+  faults::ShardedFaultyWswor run(config, shard_faults, backend);
+  run.Run(w);
+  const faults::RunReport report = run.report();
+  recorder.Disable();
+
+  std::ofstream trace_out(opt.out);
+  trace_out << recorder.ExportChromeTrace();
+  trace_out.flush();
+  if (!trace_out.good()) {
+    std::fprintf(stderr, "failed writing %s\n", opt.out.c_str());
+    return 1;
+  }
+
+  obs::Snapshot snap;
+  snap.Append("shards", static_cast<uint64_t>(opt.shards));
+  snap.Append("sample", static_cast<uint64_t>(run.MergedSampleIds().size()));
+  AppendFaultReport(report, "faults", &snap);
+  snap.Append("trace/events", static_cast<uint64_t>(recorder.Collect().size()));
+  snap.Append("trace/dropped", recorder.dropped());
+  snap.Append("trace/rings", static_cast<uint64_t>(recorder.ring_count()));
+  std::printf("%s\n", snap.ToJson().c_str());
+  std::fprintf(stderr, "wrote %s\n", opt.out.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -234,6 +375,8 @@ int main(int argc, char** argv) {
     if (opt.algo == "wswr") builder.integer_weights(true);
     return builder.Build();
   }();
+  if (opt.mode == "stats") return RunStatsMode(opt, w);
+  if (opt.mode == "trace") return RunTraceMode(opt, w);
   const auto result = Dispatch(opt, w);
   if (opt.csv) {
     std::printf("%s,%d,%d,%llu,%.6g,%llu,%llu,%llu,%.1f\n", opt.algo.c_str(),
