@@ -3,10 +3,14 @@
 // Two primitives cover the engine's three channel kinds:
 //
 //   SpscRing<T>  — lock-free bounded single-producer/single-consumer ring.
-//                  Used for the hot item path (feeder -> site worker),
+//                  Used for the hot item path (feeder -> logical site),
 //                  where each slot holds a whole ingestion batch so the
 //                  per-item synchronization cost is one release store and
-//                  one acquire load amortized over the batch.
+//                  one acquire load amortized over the batch. The
+//                  consumer role migrates between pool workers; the
+//                  scheduler's state-machine RMW chain (scheduler.h)
+//                  provides the happens-before edge that keeps the ring
+//                  single-consumer at any instant.
 //   Channel<T>   — mutex+condvar FIFO, multi-producer, optionally bounded
 //                  with blocking producers (backpressure). Used for the
 //                  site->coordinator MPSC message channel (bounded: a slow
@@ -18,8 +22,8 @@
 //                  protocol-bounded at O(k log W) anyway).
 //
 // Neither primitive parks its consumer: engine workers multiplex several
-// channels, so consumers poll with TryPop and park on their own worker
-// condvar (see site_worker.h); producers wake the worker after a push.
+// channels, so consumers poll with TryPop and park on the scheduler's
+// shared bus (see scheduler.h); producers wake a worker after a push.
 
 #ifndef DWRS_ENGINE_CHANNELS_H_
 #define DWRS_ENGINE_CHANNELS_H_
@@ -101,13 +105,17 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   // Returns false iff the channel was closed (shutdown); blocks while a
-  // bounded channel is full. `stall_counter`, if given, counts the waits.
+  // bounded channel is full. `stall_counter`, if given, counts blocking
+  // episodes: one increment per Push that had to wait, however many
+  // condvar wakeups (spurious or racing) it takes before a slot frees up.
   bool Push(T v, std::atomic<uint64_t>* stall_counter = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
+    bool stalled = false;
     while (capacity_ != 0 && queue_.size() >= capacity_ && !closed_) {
-      if (stall_counter != nullptr) {
+      if (!stalled && stall_counter != nullptr) {
         stall_counter->fetch_add(1, std::memory_order_relaxed);
       }
+      stalled = true;
       // Counted under the mutex and wait() releases it atomically, so a
       // parked producer is always visible to TryPop's waiter check below.
       ++waiters_;

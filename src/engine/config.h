@@ -8,7 +8,20 @@
 namespace dwrs::engine {
 
 struct EngineConfig {
-  int num_sites = 4;  // k; one worker thread per site plus one coordinator
+  int num_sites = 4;  // k logical sites, multiplexed over the worker pool
+
+  // Worker threads in the scheduler pool. 0 = auto: hardware_concurrency
+  // minus two (the feeder and coordinator threads), clamped to
+  // [1, num_sites]. Logical sites are homed to worker (site mod N); the
+  // pool size — not k — bounds the thread count, which is what lets one
+  // box run k = 10^5..10^6 sites.
+  int num_workers = 0;
+
+  // When true (default), a worker whose own run queue is dry steals
+  // runnable sites from the back of other workers' queues, so skewed
+  // per-site load spreads across the pool. When false, each site only
+  // ever runs on its home worker — stronger locality, no load balancing.
+  bool work_stealing = true;
 
   // Items per ingestion batch. The feeder buffers this many items per site
   // before handing them to the site worker in one queue operation, so the

@@ -47,7 +47,7 @@ void CoordinatorWorker::PushMessage(int site, const sim::Payload& msg,
     obs::TraceEvent event;
     event.type = obs::EventType::kBackpressureStall;
     event.shard = static_cast<int16_t>(trace_shard_);
-    event.site = static_cast<int16_t>(site);
+    event.site = site;
     event.a = inbox_.SizeApprox();
     obs::Emit(event);
   }

@@ -16,7 +16,11 @@ Engine::Engine(const EngineConfig& config)
   DWRS_CHECK_GT(config.item_queue_batches, 0u);
   DWRS_CHECK_GT(config.message_queue_capacity, 0u);
   DWRS_CHECK_GT(config.control_poll_stride, 0u);
-  for (auto& batch : pending_) batch.reserve(config_.batch_size);
+  // Pending buffers grow lazily: an eager reserve here would pin
+  // batch_size * sizeof(Item) bytes per site before any item arrives —
+  // at the virtualized-site scale (k = 10^5) that is hundreds of MB of
+  // mostly-idle buffers. Hot sites reach full capacity after one
+  // handoff/recycle cycle anyway.
 }
 
 Engine::~Engine() { Shutdown(); }
@@ -46,16 +50,13 @@ void Engine::Start() {
       coordinator_node_, config_.message_queue_capacity, &bus_,
       config_.trace_shard);
   if (snapshot_hook_) coordinator_worker_->SetSnapshotHook(snapshot_hook_);
-  site_workers_.reserve(site_nodes_.size());
+  scheduler_ = std::make_unique<Scheduler>(config_, &bus_, &stats_);
   for (size_t i = 0; i < site_nodes_.size(); ++i) {
     DWRS_CHECK(site_nodes_[i] != nullptr) << " site " << i << " not attached";
-    site_workers_.push_back(std::make_unique<SiteWorker>(
-        site_nodes_[i], config_.item_queue_batches,
-        config_.control_poll_stride, &bus_, &stats_, static_cast<int>(i),
-        config_.trace_shard));
+    scheduler_->AttachSite(static_cast<int>(i), site_nodes_[i]);
   }
   coordinator_worker_->Start();
-  for (auto& worker : site_workers_) worker->Start();
+  scheduler_->Start();
   started_ = true;
 }
 
@@ -87,11 +88,10 @@ void Engine::RefillPending(int site) {
   // on a cold start (the pool warms to item_queue_batches buffers and
   // then cycles them indefinitely: zero steady-state heap traffic).
   ItemBatch& batch = pending_[static_cast<size_t>(site)];
-  if (!site_workers_[static_cast<size_t>(site)]->TryGetRecycled(&batch)) {
-    batch = ItemBatch();
+  if (!scheduler_->TryGetRecycled(site, &batch)) {
+    batch = ItemBatch();  // cold start: grows lazily, then recycles warm
     stats_.batch_pool_misses.fetch_add(1, std::memory_order_relaxed);
   }
-  batch.reserve(config_.batch_size);
 }
 
 void Engine::HandOffBatch(int site) {
@@ -105,22 +105,17 @@ void Engine::HandOffBatch(int site) {
   stats_.batches_ingested.fetch_add(1, std::memory_order_relaxed);
   ItemBatch handoff = std::move(batch);
   RefillPending(site);
-  site_workers_[static_cast<size_t>(site)]->PushBatch(std::move(handoff),
-                                                      &stats_.ingest_stalls);
+  scheduler_->PushBatch(site, std::move(handoff), &stats_.ingest_stalls);
 }
 
 bool Engine::AllIdle() const {
-  if (!coordinator_worker_->Idle()) return false;
-  for (const auto& worker : site_workers_) {
-    if (!worker->Idle()) return false;
-  }
-  return true;
+  // Two aggregate counter pairs, not an O(k) per-site walk — the quiesce
+  // predicate runs on every progress event.
+  return coordinator_worker_->Idle() && scheduler_->Idle();
 }
 
 uint64_t Engine::TotalUnitsPushed() const {
-  uint64_t total = coordinator_worker_->units_pushed();
-  for (const auto& worker : site_workers_) total += worker->units_pushed();
-  return total;
+  return coordinator_worker_->units_pushed() + scheduler_->units_pushed();
 }
 
 void Engine::WaitQuiesce() {
@@ -180,13 +175,11 @@ void Engine::Shutdown() {
     shut_down_ = true;
     return;
   }
-  // Order matters: closing the coordinator inbox first unblocks any site
-  // worker stalled in an upstream send, so the site joins cleanly.
+  // Order matters: closing the coordinator inbox first unblocks any pool
+  // worker stalled in an upstream send, so the pool joins cleanly.
   coordinator_worker_->RequestStop();
-  for (auto& worker : site_workers_) {
-    worker->RequestStop();
-    worker->Join();
-  }
+  scheduler_->RequestStop();
+  scheduler_->Join();
   coordinator_worker_->Join();
   shut_down_ = true;
 }
@@ -212,7 +205,7 @@ void Engine::SendToCoordinator(int site, const sim::Payload& msg) {
 void Engine::SendToSite(int site, const sim::Payload& msg) {
   DWRS_CHECK(site >= 0 && site < config_.num_sites);
   Account(msg, /*upstream=*/false);
-  site_workers_[static_cast<size_t>(site)]->PushControl(msg);
+  scheduler_->PushControl(site, msg);
 }
 
 void Engine::Broadcast(const sim::Payload& msg) {

@@ -1,6 +1,8 @@
 // The concurrent execution engine: the production-oriented counterpart of
-// the step-synchronous sim::Runtime. Each site runs on its own worker
-// thread consuming a bounded SPSC queue of ingestion batches; protocol
+// the step-synchronous sim::Runtime. Sites are *logical*: each is a unit
+// of per-site state (bounded SPSC queue of ingestion batches + control
+// inbox) multiplexed over a fixed work-stealing worker pool (see
+// scheduler.h), so k is bounded by memory, not by thread count; protocol
 // messages flow to a dedicated coordinator thread over a bounded MPSC
 // channel with end-to-end backpressure; coordinator->site control traffic
 // returns over per-site channels. Endpoints implement the same
@@ -51,7 +53,7 @@
 #include "engine/channels.h"
 #include "engine/config.h"
 #include "engine/coordinator_worker.h"
-#include "engine/site_worker.h"
+#include "engine/scheduler.h"
 #include "engine/stats.h"
 #include "sim/node.h"
 #include "stream/item.h"
@@ -71,6 +73,12 @@ class Engine : public sim::Transport {
   // sim::Runtime::network()).
   sim::Transport& transport() { return *this; }
   int num_sites() const { return config_.num_sites; }
+  // Resolved size of the scheduler's worker pool (config().num_workers
+  // with 0 = auto resolved; see EngineConfig).
+  int num_workers() const {
+    return Scheduler::ResolveWorkerCount(config_.num_workers,
+                                         config_.num_sites);
+  }
   const EngineConfig& config() const { return config_; }
   const EngineStats& stats() const { return stats_; }
 
@@ -147,7 +155,7 @@ class Engine : public sim::Transport {
   sim::CoordinatorNode* coordinator_node_ = nullptr;
   std::function<void()> snapshot_hook_;
 
-  std::vector<std::unique_ptr<SiteWorker>> site_workers_;
+  std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<CoordinatorWorker> coordinator_worker_;
 
   std::vector<ItemBatch> pending_;  // per-site ingestion buffers

@@ -1,5 +1,6 @@
 #include "engine/sharded_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace dwrs::engine {
@@ -13,6 +14,13 @@ ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
     EngineConfig shard_config = config.shard;
     shard_config.num_sites = topology_.SiteCount(shard);
     shard_config.trace_shard = shard;
+    if (shard_config.num_workers == 0) {
+      // Split the auto worker budget across the shards: S independent
+      // engines each sizing a pool for the whole machine would spawn
+      // S times hardware_concurrency threads.
+      const int total = Scheduler::ResolveWorkerCount(0, config.num_sites);
+      shard_config.num_workers = std::max(1, total / config.num_shards);
+    }
     shards_.push_back(std::make_unique<Engine>(shard_config));
   }
 }

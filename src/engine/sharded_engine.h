@@ -1,7 +1,9 @@
 // Sharded multi-coordinator topology over the concurrent engine: the k
 // sites are partitioned across S shard coordinators, each an unmodified
-// engine::Engine — per-site worker threads feeding a dedicated shard
-// coordinator thread over the shard's own bounded MPSC channel — plus a
+// engine::Engine — a per-shard work-stealing worker pool of logical
+// sites feeding a dedicated shard coordinator thread over the shard's
+// own bounded MPSC channel (an auto worker budget is split across the
+// shards so the pools together stay within hardware_concurrency) — plus a
 // root merge stage (MergedSample) that combines the shard coordinators'
 // mergeable summaries into the exact global sample at quiesce points.
 //

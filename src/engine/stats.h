@@ -35,6 +35,17 @@ struct EngineStats {
   std::atomic<uint64_t> upstream_stalls{0};  // site blocked: MPSC channel full
   std::atomic<uint64_t> quiesces{0};
 
+  // Scheduler counters: logical-site dispatches onto pool workers, sites
+  // a dry worker stole from a sibling's run queue, times a worker parked
+  // on the shared bus with nothing runnable, and ingestion batches
+  // dropped because shutdown was requested while the feeder was blocked
+  // on a full site ring (nonzero iff item accounting is allowed not to
+  // reconcile: items_ingested counts them, no endpoint saw them).
+  std::atomic<uint64_t> sites_scheduled{0};
+  std::atomic<uint64_t> steals{0};
+  std::atomic<uint64_t> worker_parks{0};
+  std::atomic<uint64_t> batches_dropped_on_shutdown{0};
+
   // Batch-buffer pool: drained buffers returned to the feeder's free list
   // vs. hand-offs that had to allocate because the list was empty (cold
   // start). In the steady state recycled tracks batches_ingested and

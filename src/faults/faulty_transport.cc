@@ -12,7 +12,7 @@ obs::TraceEvent FaultEvent(obs::EventType type, int shard, int site,
   obs::TraceEvent event;
   event.type = type;
   event.shard = static_cast<int16_t>(shard);
-  event.site = static_cast<int16_t>(site);
+  event.site = site;
   event.dir = upstream ? 1 : 2;
   event.msg_type = static_cast<uint16_t>(msg.type);
   event.seq = msg.seq;

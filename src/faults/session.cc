@@ -18,7 +18,7 @@ obs::TraceEvent SessionEvent(obs::EventType type, int shard, int site,
   obs::TraceEvent event;
   event.type = type;
   event.shard = static_cast<int16_t>(shard);
-  event.site = static_cast<int16_t>(site);
+  event.site = site;
   event.dir = dir;
   event.msg_type = static_cast<uint16_t>(msg.type);
   event.seq = msg.seq;
@@ -172,7 +172,7 @@ void SiteSession::Crash() {
     obs::TraceEvent event;
     event.type = obs::EventType::kCrash;
     event.shard = static_cast<int16_t>(trace_shard_);
-    event.site = static_cast<int16_t>(site_);
+    event.site = site_;
     event.epoch = epoch_;
     event.a = unacked_.size();  // messages about to be irrecoverably lost
     obs::Emit(event);
@@ -198,7 +198,7 @@ void SiteSession::Restart() {
     obs::TraceEvent event;
     event.type = obs::EventType::kRestart;
     event.shard = static_cast<int16_t>(trace_shard_);
-    event.site = static_cast<int16_t>(site_);
+    event.site = site_;
     event.epoch = epoch_;
     obs::Emit(event);
   }
@@ -284,7 +284,7 @@ void CoordinatorSession::OnMessage(int site, const sim::Payload& msg) {
       obs::TraceEvent event;
       event.type = obs::EventType::kEpochBump;
       event.shard = static_cast<int16_t>(trace_shard_);
-      event.site = static_cast<int16_t>(site);
+      event.site = site;
       event.dir = 1;
       event.epoch = peer.epoch;
       obs::Emit(event);

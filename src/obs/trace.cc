@@ -67,6 +67,9 @@ const char* EventTypeName(EventType type) {
     case EventType::kRetransmit: return "retransmit";
     case EventType::kEpochBump: return "epoch_bump";
     case EventType::kResyncSend: return "resync_send";
+    case EventType::kSiteScheduled: return "site_scheduled";
+    case EventType::kSteal: return "steal";
+    case EventType::kWorkerPark: return "worker_park";
   }
   return "unknown";
 }

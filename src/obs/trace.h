@@ -68,6 +68,9 @@ enum class EventType : uint16_t {
   kRetransmit = 18,        // go-back-N retransmission of an unacked message
   kEpochBump = 19,         // coordinator session detected a site restart
   kResyncSend = 20,        // one resync message sent to a reborn site
+  kSiteScheduled = 21,     // scheduler dispatched a logical site (a=worker)
+  kSteal = 22,             // worker stole a runnable site (a=thief worker)
+  kWorkerPark = 23,        // pool worker parked, nothing runnable (a=worker)
 };
 
 const char* EventTypeName(EventType type);
@@ -77,18 +80,24 @@ const char* EventTypeName(EventType type);
 // weight/threshold/latency, seq/epoch the reliability stamps.
 struct TraceEvent {
   int64_t ts_ns = 0;   // since Enable(); 0 in deterministic mode
-  uint64_t a = 0;      // item id, batch size, publish seq, resync count
+  uint64_t a = 0;      // item id, batch size, publish seq, worker id
   double x = 0.0;      // weight, threshold, latency in us
   uint64_t step = 0;   // backend step clock when cheaply available
   uint32_t dur_ns = 0;  // span duration (kItemSpan, kQueryServe)
   uint32_t seq = 0;
   uint32_t epoch = 0;
+  // int32: site ids must cover the virtualized-site regime (k = 10^5..
+  // 10^6), which overflowed the old int16 field into negative ids.
+  int32_t site = -1;  // -1: coordinator/global scope
   EventType type = EventType::kItemSpan;
   uint16_t msg_type = 0;  // sim::Payload::type
   int16_t shard = 0;
-  int16_t site = -1;  // -1: coordinator/global scope
-  uint8_t dir = 0;    // 0 none, 1 site->coord, 2 coord->site
+  uint8_t dir = 0;  // 0 none, 1 site->coord, 2 coord->site
 };
+
+// The record is written per item batch and per message on every hot
+// path; keep it one cache line pair.
+static_assert(sizeof(TraceEvent) == 56, "TraceEvent grew past 56 bytes");
 
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;

@@ -13,7 +13,7 @@ void TracingTransport::Record(int site, uint8_t dir, const sim::Payload& msg) {
   TraceEvent event;
   event.type = EventType::kMsgSend;
   event.shard = static_cast<int16_t>(shard_);
-  event.site = static_cast<int16_t>(site);
+  event.site = site;
   event.dir = dir;
   event.msg_type = static_cast<uint16_t>(msg.type);
   event.seq = msg.seq;

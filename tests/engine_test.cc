@@ -94,6 +94,33 @@ TEST(ChannelTest, BoundedChannelTransfersUnderContention) {
   EXPECT_EQ(sum, 2LL * kPerProducer * (kPerProducer - 1) / 2);
 }
 
+TEST(ChannelTest, StallCounterCountsEpisodesNotWakeups) {
+  // Two producers block on a capacity-1 channel; the consumer then pops
+  // twice. Each pop wakes every waiter (notify_all), so the producer
+  // that loses the race re-checks "full" and waits again — under the old
+  // per-wakeup counting that re-check inflated the counter to 3+. One
+  // blocking episode per producer must count exactly once.
+  Channel<int> channel(1);
+  std::atomic<uint64_t> stalls{0};
+  ASSERT_TRUE(channel.Push(0));  // fill; no stall
+  EXPECT_EQ(stalls.load(), 0u);
+
+  std::thread p1([&] { EXPECT_TRUE(channel.Push(1, &stalls)); });
+  std::thread p2([&] { EXPECT_TRUE(channel.Push(2, &stalls)); });
+  // Both producers are parked once both episodes are counted.
+  while (stalls.load() < 2) std::this_thread::yield();
+
+  int out;
+  ASSERT_TRUE(channel.TryPop(&out));  // wakes both; one re-waits
+  while (channel.SizeApprox() != 1) std::this_thread::yield();
+  ASSERT_TRUE(channel.TryPop(&out));
+  p1.join();
+  p2.join();
+  while (channel.TryPop(&out)) {
+  }
+  EXPECT_EQ(stalls.load(), 2u);  // episodes, not wakeups
+}
+
 TEST(ChannelTest, CloseUnblocksAFullProducer) {
   Channel<int> channel(1);
   ASSERT_TRUE(channel.Push(0));

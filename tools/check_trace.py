@@ -74,6 +74,12 @@ def main():
     counts = {}
     for e in events:
         counts[e["name"]] = counts.get(e["name"], 0) + 1
+        # site is a full int32 since the virtualized-site engine (k up
+        # to 10^5..10^6); -1 is the coordinator/global sentinel, anything
+        # below it means a narrowing cast crept back into an emit site.
+        site = e.get("args", {}).get("site")
+        if site is not None and site < -1:
+            rc |= fail(f"negative site id {site} in event {e['name']}")
     missing = REQUIRED_TYPES - counts.keys()
     if missing:
         rc |= fail(f"missing event types: {sorted(missing)}")
