@@ -36,6 +36,15 @@
 // gated expectation is the floor: k = 10^5 stays within roughly one
 // order of magnitude of k = 10^2 instead of collapsing.
 //
+// E15 — durability tax: the fault-harness protocol stack with the
+// write-ahead log + periodic checkpoints on (src/durability/) against
+// the same stack with durability off, sweeping the group-commit
+// interval (= the kill loss window, in steps) and the fdatasync
+// cadence. The durable_c8 row (the defaults the kill/recover tests
+// run) is gated IN-RUN against its own plain baseline: durable ingest
+// must stay within 25% of non-durable, measured back to back in the
+// same process so machine speed cancels.
+//
 // Results are written to BENCH_engine_throughput.json (schema: name,
 // params, rows[workload, backend, k, batch_size, shards, items_per_sec,
 // messages, ...]; the live_query row adds queries_per_sec, query_us_mean
@@ -50,7 +59,9 @@
 
 #include "bench_util.h"
 #include "core/sharded_sampler.h"
+#include "durability/durable_shard.h"
 #include "engine/engine.h"
+#include "faults/harness.h"
 #include "engine/sharded_engine.h"
 #include "query/live.h"
 #include "query/query_service.h"
@@ -407,6 +418,98 @@ int Main(bool quick, int shards_filter) {
     }
   }
 
+  // E15 — durability tax: WAL + checkpoints on vs off, same protocol
+  // stack (the faults harness with a zero-fault schedule), same
+  // workload. Sweeps the group-commit interval; the fsync row pays a
+  // real fdatasync per commit (power-loss durability — kill -9 survival
+  // only needs the kernel write, which is what the other rows measure).
+  int durable_gate_failures = 0;
+  {
+    const int k = 8;
+    const Workload w = bench::ZipfWorkload(k, n, /*seed=*/7 + k);
+    const WsworConfig config{.num_sites = k, .sample_size = s, .seed = 105};
+    faults::FaultConfig no_faults;
+    no_faults.seed = 13;
+
+    // The fault-harness step loop runs ~3 orders of magnitude slower
+    // than raw engine ingest (a session round trip per event), and its
+    // per-event FlushBackend makes single-pass timings scheduler-noisy;
+    // every row here is best-of-3 so the tax ratio measures durability,
+    // not thread placement luck.
+    constexpr int kReps = 3;
+    BackendResult plain;
+    for (int rep = 0; rep < kReps; ++rep) {
+      faults::FaultyWswor run(config, no_faults, faults::Backend::kEngine);
+      const double t0 = Now();
+      run.Run(w);
+      const double t1 = Now();
+      const double ips = static_cast<double>(w.size()) / (t1 - t0);
+      if (ips > plain.items_per_sec) {
+        plain.seconds = t1 - t0;
+        plain.items_per_sec = ips;
+        plain.messages = run.report().delivered;
+      }
+    }
+    Report(json, "durable_off", "engine", k, batch, plain);
+
+    struct DurableCase {
+      const char* name;
+      uint64_t commit_interval;
+      bool fsync;
+    };
+    const DurableCase cases[] = {{"durable_c1", 1, false},
+                                 {"durable_c8", 8, false},
+                                 {"durable_c64", 64, false},
+                                 {"durable_fsync64", 64, true}};
+    for (const DurableCase& c : cases) {
+      BackendResult r;
+      durability::WalStats wal;
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::system("rm -rf bench_durable_state");
+        durability::DurabilityOptions dopt;
+        dopt.dir = "bench_durable_state";
+        dopt.commit_interval_steps = c.commit_interval;
+        dopt.checkpoint_interval_steps = 4096;
+        dopt.fsync_commits = c.fsync;
+        durability::DurableWswor run(config, no_faults,
+                                     faults::Backend::kEngine, dopt);
+        const double t0 = Now();
+        run.Run(w);
+        const double t1 = Now();
+        const double ips = static_cast<double>(w.size()) / (t1 - t0);
+        if (ips > r.items_per_sec) {
+          r.seconds = t1 - t0;
+          r.items_per_sec = ips;
+          r.messages = run.report().delivered;
+          wal = run.wal_stats();
+        }
+      }
+      const double tax = plain.items_per_sec / r.items_per_sec;
+      Report(json, c.name, "engine", k, batch, r);
+      json.Field("commit_interval_steps", c.commit_interval)
+          .Field("fsync_commits", static_cast<uint64_t>(c.fsync ? 1 : 0))
+          .Field("wal_bytes_committed", wal.bytes_committed)
+          .Field("wal_fsyncs", wal.fsyncs)
+          .Field("durability_tax", tax);
+      bench::Row("    -> %s: %.2fx the plain stack's cost "
+                 "(%llu WAL bytes, %llu fsyncs)",
+                 c.name, tax,
+                 static_cast<unsigned long long>(wal.bytes_committed),
+                 static_cast<unsigned long long>(wal.fsyncs));
+      // The acceptance gate: default-cadence durable ingest within 25%
+      // of non-durable (fsync rows are informational — they buy a
+      // stronger guarantee and are priced separately).
+      if (std::string(c.name) == "durable_c8" &&
+          r.items_per_sec < 0.75 * plain.items_per_sec) {
+        bench::Row("    !! durable_c8 gate FAILED: %.0f items/s < 75%% of "
+                   "plain %.0f items/s",
+                   r.items_per_sec, plain.items_per_sec);
+        ++durable_gate_failures;
+      }
+    }
+    std::system("rm -rf bench_durable_state");
+  }
+
   // E13 — live query latency: continuous lock-free snapshot queries
   // against the sharded engine mid-ingestion. items_per_sec is the
   // ingest rate RETAINED while a reader queries flat out; the row also
@@ -432,7 +535,7 @@ int Main(bool quick, int shards_filter) {
 
   const std::string path = json.Write();
   bench::Row("wrote %s", path.c_str());
-  return 0;
+  return durable_gate_failures == 0 ? 0 : 1;
 }
 
 }  // namespace

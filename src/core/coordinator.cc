@@ -22,8 +22,47 @@ WsworCoordinator::WsworCoordinator(const WsworConfig& config,
 }
 
 void WsworCoordinator::AddToSample(const Item& item, double key) {
-  sample_.Offer(key, item);
+  if (sample_delta_hook_) {
+    TopKeyHeap<Item>::Entry evicted{-1.0, Item{}};
+    if (sample_.Offer(key, item, &evicted)) {
+      SampleDelta delta;
+      delta.added = KeyedItem{item, key};
+      if (evicted.key >= 0.0) {
+        delta.evicted_valid = true;
+        delta.evicted_id = evicted.value.id;
+      }
+      sample_delta_hook_(delta);
+    }
+  } else {
+    sample_.Offer(key, item);
+  }
   MaybeAnnounceEpoch();
+}
+
+WsworCoordinator::State WsworCoordinator::SaveState() const {
+  State s;
+  rng_.SaveState(s.rng);
+  s.announced_epoch = announced_epoch_;
+  s.early_received = early_received_;
+  s.regular_received = regular_received_;
+  s.state_version = state_version_;
+  s.summary = ShardSample();
+  s.saturated_levels = levels_.SaturatedLevels();
+  return s;
+}
+
+void WsworCoordinator::RestoreState(const State& s) {
+  rng_.RestoreState(s.rng);
+  announced_epoch_ = s.announced_epoch;
+  early_received_ = s.early_received;
+  regular_received_ = s.regular_received;
+  state_version_ = s.state_version;
+  sample_ = TopKeyHeap<Item>(static_cast<size_t>(config_.sample_size));
+  for (const KeyedItem& ki : s.summary.entries) {
+    sample_.Offer(ki.key, ki.item);
+  }
+  levels_.RestoreState(s.summary.level_counts, s.saturated_levels,
+                       s.summary.withheld);
 }
 
 void WsworCoordinator::MaybeAnnounceEpoch() {

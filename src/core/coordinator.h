@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/config.h"
@@ -85,6 +86,39 @@ class WsworCoordinator : public sim::CoordinatorNode {
   // (threshold bumps). Set by the sharded/fault harnesses; 0 otherwise.
   void set_trace_shard(int shard) { trace_shard_ = shard; }
 
+  // --- durability surface (src/durability/) ---------------------------
+
+  // Sample membership change: the entry that entered S and, when the
+  // sample was full, the one it displaced. Observed by the durability
+  // layer's WAL (sample-delta audit records); adds/evicts are internal
+  // heap operations, not wire messages, so this is the only seam that
+  // sees them. One unset-hook branch per accepted entry when unused.
+  struct SampleDelta {
+    KeyedItem added;
+    bool evicted_valid = false;
+    uint64_t evicted_id = 0;
+  };
+  void set_sample_delta_hook(std::function<void(const SampleDelta&)> hook) {
+    sample_delta_hook_ = std::move(hook);
+  }
+
+  // Full coordinator state for durable checkpoints. The summary carries
+  // S, the withheld entries and the level counts (exactly the mergeable
+  // export); the saturation flags ride separately because they are not
+  // derivable from the counts (see level_sets.h), and the RNG words make
+  // restored key draws bit-identical.
+  struct State {
+    uint64_t rng[4] = {0, 0, 0, 0};
+    int announced_epoch = -1;
+    uint64_t early_received = 0;
+    uint64_t regular_received = 0;
+    uint64_t state_version = 0;
+    MergeableSample summary;
+    std::vector<int> saturated_levels;
+  };
+  State SaveState() const;
+  void RestoreState(const State& s);
+
  private:
   void AddToSample(const Item& item, double key);
   void MaybeAnnounceEpoch();
@@ -100,6 +134,7 @@ class WsworCoordinator : public sim::CoordinatorNode {
   uint64_t early_received_ = 0;
   uint64_t regular_received_ = 0;
   uint64_t state_version_ = 0;
+  std::function<void(const SampleDelta&)> sample_delta_hook_;
 };
 
 }  // namespace dwrs

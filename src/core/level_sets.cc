@@ -1,5 +1,7 @@
 #include "core/level_sets.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -91,6 +93,37 @@ std::vector<int> LevelSetManager::SaturatedLevels() const {
     if (saturated_[i] != 0) out.push_back(static_cast<int>(i));
   }
   return out;
+}
+
+void LevelSetManager::RestoreState(
+    const std::vector<LevelCount>& counts,
+    const std::vector<int>& saturated_levels,
+    const std::vector<LeveledKeyedItem>& withheld) {
+  counts_.clear();
+  saturated_.clear();
+  size_t max_level = 0;
+  for (const LevelCount& lc : counts) {
+    DWRS_CHECK_GE(lc.level, 0);
+    max_level = std::max(max_level, static_cast<size_t>(lc.level));
+  }
+  for (int level : saturated_levels) {
+    DWRS_CHECK_GE(level, 0);
+    max_level = std::max(max_level, static_cast<size_t>(level));
+  }
+  if (!counts.empty() || !saturated_levels.empty()) {
+    counts_.resize(max_level + 1, 0);
+    saturated_.resize(max_level + 1, 0);
+  }
+  for (const LevelCount& lc : counts) {
+    counts_[static_cast<size_t>(lc.level)] = lc.count;
+  }
+  for (int level : saturated_levels) {
+    saturated_[static_cast<size_t>(level)] = 1;
+  }
+  heap_ = TopKeyHeap<Withheld>(heap_.capacity());
+  for (const LeveledKeyedItem& e : withheld) {
+    heap_.Offer(e.entry.key, Withheld{e.entry.item, e.level});
+  }
 }
 
 uint64_t LevelSetManager::CountInLevel(int level) const {

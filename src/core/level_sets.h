@@ -59,6 +59,16 @@ class LevelSetManager {
   // promises this stays <= s.
   size_t StoredEntries() const { return heap_.size(); }
 
+  // Durable-checkpoint restore (src/durability/): rebuilds the manager
+  // from per-level arrival counts, the explicitly saved saturation flags,
+  // and the stored withheld entries (re-offered into the top-s heap).
+  // The flags must be saved explicitly — they are NOT derivable from the
+  // counts, because an arrival at an already-saturated level is released
+  // directly without incrementing its count.
+  void RestoreState(const std::vector<LevelCount>& counts,
+                    const std::vector<int>& saturated_levels,
+                    const std::vector<LeveledKeyedItem>& withheld);
+
  private:
   struct Withheld {
     Item item;

@@ -65,6 +65,22 @@ void WsworSite::OnItems(const Item* items, size_t n) {
   }
 }
 
+WsworSite::State WsworSite::SaveState() const {
+  State s;
+  rng_.SaveState(s.rng);
+  s.filter = filter_.SaveState();
+  s.threshold = threshold_;
+  s.saturated = saturated_;
+  return s;
+}
+
+void WsworSite::RestoreState(const State& s) {
+  rng_.RestoreState(s.rng);
+  filter_.RestoreState(s.filter);
+  threshold_ = s.threshold;
+  saturated_ = s.saturated;
+}
+
 void WsworSite::OnMessage(const sim::Payload& msg) {
   switch (msg.type) {
     case kWsworLevelSaturated: {

@@ -48,6 +48,20 @@ class WsworSite : public sim::SiteNode {
   uint64_t key_bits_consumed() const { return filter_.bits_consumed(); }
   uint64_t skips_taken() const { return filter_.skips_taken(); }
 
+  // Durable-checkpoint surface (src/durability/): everything that makes
+  // the site's future behavior a pure function of its inputs — the RNG
+  // words, the geometric-skip residual budget, the announced threshold,
+  // and the saturation flags. A restored site regenerates byte-identical
+  // messages for the same item suffix.
+  struct State {
+    uint64_t rng[4] = {0, 0, 0, 0};
+    GeometricSkipFilter::State filter;
+    double threshold = 0.0;
+    std::vector<uint8_t> saturated;
+  };
+  State SaveState() const;
+  void RestoreState(const State& s);
+
  private:
   const WsworConfig config_;
   const int site_index_;

@@ -1,0 +1,93 @@
+// Durable checkpoints: a full serialization of one shard's protocol
+// stack at a quiesce point, written atomically (temp + rename + fsync)
+// and versioned by a monotone checkpoint sequence that doubles as the
+// WAL segment generation (durable_shard.h describes the rotation
+// lifecycle).
+//
+// The payload core is the shard's query::ShardSnapshot — the same value
+// the live-query layer publishes — so "what a checkpoint restores" and
+// "what a query would have answered" can never drift apart. Around it
+// ride the states a snapshot deliberately omits: the coordinator's RNG
+// words and saturation flags, the reliability sessions, the site
+// filters, and the fault transport's channel counters (which keep a
+// recovered run on the same fault-schedule coordinates).
+//
+// File format: "DCKP" magic | u8 version | u32 CRC32(body) | body. A
+// CRC mismatch or truncation fails the load; LoadLatestCheckpoint then
+// falls back to the previous generation (two generations are retained;
+// older ones are pruned after a successful write).
+
+#ifndef DWRS_DURABILITY_CHECKPOINT_H_
+#define DWRS_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/site.h"
+#include "faults/faulty_transport.h"
+#include "faults/session.h"
+#include "query/snapshot.h"
+
+namespace dwrs::durability {
+
+inline constexpr char kCheckpointMagic[4] = {'D', 'C', 'K', 'P'};
+inline constexpr uint8_t kCheckpointFormatVersion = 1;
+
+struct ShardCheckpoint {
+  // Monotone generation; WAL segment wal-<checkpoint_seq>.log holds the
+  // records after this capture.
+  uint64_t checkpoint_seq = 0;
+  // Stream step at capture (1-based prefix length; the feeder resumes
+  // at step + 1).
+  uint64_t step = 0;
+  // WAL records logged before the capture (accounting continuity).
+  uint64_t wal_records_logged = 0;
+
+  // The query-layer view at capture — checkpoint payload core.
+  query::ShardSnapshot snapshot;
+
+  // Protocol + reliability state the snapshot does not carry.
+  WsworCoordinator::State coordinator;
+  faults::CoordinatorSession::State session;
+  // Per site: whether a live endpoint existed (a site inside a
+  // crash-down window has none), its session state, and — when valid —
+  // its protocol state.
+  std::vector<uint8_t> site_valid;
+  std::vector<faults::SiteSession::State> site_sessions;
+  std::vector<WsworSite::State> sites;
+  faults::FaultyTransport::State transport;
+
+  // Kill-harness bookkeeping, so a recovered run never re-fires a kill
+  // it already took on a re-fed step.
+  uint64_t kills_done = 0;
+  uint64_t last_kill_step = 0;
+};
+
+std::vector<uint8_t> EncodeCheckpoint(const ShardCheckpoint& checkpoint);
+std::optional<ShardCheckpoint> DecodeCheckpoint(
+    const std::vector<uint8_t>& bytes);
+
+// Serializes and writes `<dir>/ckpt-<seq>.bin` atomically, then prunes
+// generations older than seq - 1. False (with *error) on I/O failure.
+bool WriteCheckpointFile(const std::string& dir,
+                         const ShardCheckpoint& checkpoint,
+                         std::string* error);
+
+// Loads the newest decodable checkpoint under `dir`, trying generations
+// newest-first (a torn or corrupted newest file falls back to its
+// predecessor). nullopt when none exists or none decodes.
+std::optional<ShardCheckpoint> LoadLatestCheckpoint(const std::string& dir);
+
+// The on-disk names the rotation lifecycle uses.
+std::string CheckpointPath(const std::string& dir, uint64_t seq);
+std::string WalSegmentPath(const std::string& dir, uint64_t seq);
+
+// Creates `dir` (one level) if absent; false on failure.
+bool EnsureDir(const std::string& dir);
+
+}  // namespace dwrs::durability
+
+#endif  // DWRS_DURABILITY_CHECKPOINT_H_

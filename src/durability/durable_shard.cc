@@ -1,0 +1,748 @@
+#include "durability/durable_shard.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace dwrs::durability {
+namespace {
+
+constexpr int kMaxReconcileRounds = 8;
+
+uint64_t Bits(double x) {
+  uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+// Decision-record equality for the replay cross-check. Doubles compare
+// by bit pattern: replay must REGENERATE the logged history, not merely
+// approximate it.
+bool DecisionEquals(const WalRecord& a, const WalRecord& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case WalRecordType::kThresholdBump:
+      return Bits(a.threshold) == Bits(b.threshold);
+    case WalRecordType::kEpochChange:
+      return a.epoch == b.epoch;
+    case WalRecordType::kSampleDelta:
+      return a.added.item.id == b.added.item.id &&
+             Bits(a.added.item.weight) == Bits(b.added.item.weight) &&
+             Bits(a.added.key) == Bits(b.added.key) &&
+             a.evicted_valid == b.evicted_valid &&
+             (!a.evicted_valid || a.evicted_id == b.evicted_id);
+    default:
+      return false;
+  }
+}
+
+void FoldInto(WalStats* total, const WalStats& s) {
+  total->appends += s.appends;
+  total->commits += s.commits;
+  total->fsyncs += s.fsyncs;
+  total->bytes_appended += s.bytes_appended;
+  total->bytes_committed += s.bytes_committed;
+}
+
+}  // namespace
+
+// --- DurableCoordinator -----------------------------------------------
+
+DurableCoordinator::DurableCoordinator(faults::CoordinatorSession* session,
+                                       WsworCoordinator* coordinator,
+                                       bool log_decisions)
+    : session_(session),
+      coordinator_(coordinator),
+      log_decisions_(log_decisions) {}
+
+void DurableCoordinator::OnSampleDelta(
+    const WsworCoordinator::SampleDelta& delta) {
+  WalRecord record;
+  record.type = WalRecordType::kSampleDelta;
+  record.added = delta.added;
+  record.evicted_valid = delta.evicted_valid;
+  record.evicted_id = delta.evicted_id;
+  pending_deltas_.push_back(record);
+}
+
+void DurableCoordinator::EmitDecision(const WalRecord& record) {
+  if (capture_ != nullptr) {
+    capture_->push_back(record);
+  } else if (wal_ != nullptr) {
+    wal_->Append(EncodeWalRecord(record));
+    ++records_logged_;
+  }
+}
+
+void DurableCoordinator::OnMessage(int site, const sim::Payload& msg) {
+  // Write-ahead: the arrival is logged before any state it will mutate.
+  // During replay (capture_ set) the arrival IS the log — no re-append.
+  if (capture_ == nullptr && wal_ != nullptr) {
+    WalRecord record;
+    record.type = WalRecordType::kMessage;
+    record.site = site;
+    record.msg = msg;
+    wal_->Append(EncodeWalRecord(record));
+    ++records_logged_;
+  }
+  pending_deltas_.clear();
+  const uint64_t threshold_before = Bits(coordinator_->Threshold());
+  const int epoch_before = coordinator_->announced_epoch();
+  session_->OnMessage(site, msg);
+  if (!log_decisions_) return;
+  // Decision audit, in a fixed order (deltas, threshold, epoch) so the
+  // live log and the replay regeneration are comparable sequences.
+  for (const WalRecord& delta : pending_deltas_) EmitDecision(delta);
+  pending_deltas_.clear();
+  if (Bits(coordinator_->Threshold()) != threshold_before) {
+    WalRecord record;
+    record.type = WalRecordType::kThresholdBump;
+    record.threshold = coordinator_->Threshold();
+    EmitDecision(record);
+  }
+  if (coordinator_->announced_epoch() != epoch_before) {
+    WalRecord record;
+    record.type = WalRecordType::kEpochChange;
+    record.epoch = coordinator_->announced_epoch();
+    EmitDecision(record);
+  }
+}
+
+// --- DurableWswor -----------------------------------------------------
+
+DurableWswor::DurableWswor(const WsworConfig& config,
+                           const faults::FaultConfig& fault_config,
+                           faults::Backend backend,
+                           const DurabilityOptions& options, int trace_shard)
+    : config_(config),
+      options_(options),
+      backend_(backend),
+      trace_shard_(trace_shard),
+      schedule_(fault_config),
+      num_sites_(config.num_sites) {
+  DWRS_CHECK(!options_.dir.empty()) << " durability dir is required";
+  DWRS_CHECK_GT(options_.commit_interval_steps, 0u);
+  DWRS_CHECK_GT(options_.checkpoint_interval_steps, 0u);
+  DWRS_CHECK(EnsureDir(options_.dir))
+      << " cannot create durability dir " << options_.dir;
+  Recover();
+}
+
+DurableWswor::~DurableWswor() { TearDownStack(/*abandon_pending=*/false); }
+
+void DurableWswor::BuildStack() {
+  if (backend_ == faults::Backend::kSim) {
+    runtime_ = std::make_unique<sim::Runtime>(num_sites_);
+  } else {
+    engine::EngineConfig engine_config;
+    engine_config.num_sites = num_sites_;
+    engine_config.step_synchronous = true;
+    engine_config.trace_shard = trace_shard_;
+    engine_ = std::make_unique<engine::Engine>(engine_config);
+  }
+  sim::Transport* inner =
+      engine_ ? &engine_->transport()
+              : static_cast<sim::Transport*>(&runtime_->network());
+  faulty_ = std::make_unique<faults::FaultyTransport>(inner, &schedule_,
+                                                      num_sites_);
+  faulty_->set_trace_shard(trace_shard_);
+  tracing_ =
+      std::make_unique<obs::TracingTransport>(faulty_.get(), trace_shard_);
+  // The coordinator stack sends through the switch so recovery can aim
+  // replay-generated traffic at a capture sink; live it passes straight
+  // through to the tracing transport, exactly the FaultyRun wiring.
+  switchable_ = std::make_unique<SwitchableTransport>(tracing_.get());
+
+  // Seed derivation mirrors FaultyRun (and the reliable facades): one
+  // master draw per site in index order, then the coordinator's — a
+  // durable run with no kills is bit-identical to a FaultyRun.
+  Rng master(config_.seed);
+  std::vector<uint64_t> site_seeds;
+  site_seeds.reserve(static_cast<size_t>(num_sites_));
+  for (int i = 0; i < num_sites_; ++i) site_seeds.push_back(master.NextU64());
+  coordinator_ = std::make_unique<WsworCoordinator>(
+      config_, switchable_.get(), master.NextU64());
+  coordinator_->set_trace_shard(trace_shard_);
+  coordinator_session_ = std::make_unique<faults::CoordinatorSession>(
+      num_sites_, coordinator_.get(), switchable_.get(),
+      [this] { return coordinator_->ResyncMessages(); });
+  coordinator_session_->set_trace_shard(trace_shard_);
+  durable_coordinator_ = std::make_unique<DurableCoordinator>(
+      coordinator_session_.get(), coordinator_.get(), options_.log_decisions);
+  if (options_.log_decisions) {
+    coordinator_->set_sample_delta_hook(
+        [dc = durable_coordinator_.get()](
+            const WsworCoordinator::SampleDelta& delta) {
+          dc->OnSampleDelta(delta);
+        });
+  }
+
+  const WsworConfig config = config_;
+  for (int i = 0; i < num_sites_; ++i) {
+    site_sessions_.push_back(std::make_unique<faults::SiteSession>(
+        i, tracing_.get(), &schedule_,
+        [config, i, seed = site_seeds[static_cast<size_t>(i)]](
+            sim::Transport* upper, uint32_t epoch) {
+          return std::make_unique<WsworSite>(config, i, upper,
+                                             faults::RestartSeed(seed, epoch));
+        }));
+    site_sessions_.back()->set_trace_shard(trace_shard_);
+    if (runtime_) {
+      runtime_->AttachSite(i, site_sessions_.back().get());
+    } else {
+      engine_->AttachSite(i, site_sessions_.back().get());
+    }
+  }
+  if (runtime_) {
+    runtime_->AttachCoordinator(durable_coordinator_.get());
+  } else {
+    engine_->AttachCoordinator(durable_coordinator_.get());
+  }
+}
+
+void DurableWswor::TearDownStack(bool abandon_pending) {
+  if (wal_) {
+    if (abandon_pending) wal_->AbandonPending();
+    wal_->Close();
+    FoldInto(&closed_segment_stats_, wal_->stats());
+    wal_.reset();
+  }
+  // The engine joins its workers before any endpoint dies (teardown
+  // contract in engine/engine.h).
+  if (engine_) engine_->Shutdown();
+  if (durable_coordinator_) {
+    wal_records_logged_ += durable_coordinator_->records_logged();
+  }
+  site_sessions_.clear();
+  durable_coordinator_.reset();
+  coordinator_session_.reset();
+  coordinator_.reset();
+  switchable_.reset();
+  tracing_.reset();
+  faulty_.reset();
+  engine_.reset();
+  runtime_.reset();
+}
+
+void DurableWswor::OpenSegment(uint64_t seq, bool truncate) {
+  WalWriterOptions wal_options;
+  wal_options.fsync_commits = options_.fsync_commits;
+  wal_options.group_commit = options_.background_flush;
+  wal_options.flush_interval_us = options_.flush_interval_us;
+  wal_options.flush_bytes = options_.flush_bytes;
+  wal_ = std::make_unique<WalWriter>(WalSegmentPath(options_.dir, seq),
+                                     wal_options, truncate);
+  DWRS_CHECK(wal_->ok()) << " wal open failed: " << wal_->error();
+  wal_seq_ = seq;
+  durable_coordinator_->set_wal(wal_.get());
+}
+
+void DurableWswor::AppendHarnessRecord(const WalRecord& record) {
+  wal_->Append(EncodeWalRecord(record));
+  ++wal_records_logged_;
+}
+
+ShardCheckpoint DurableWswor::CaptureCheckpoint(uint64_t step) const {
+  ShardCheckpoint checkpoint;
+  checkpoint.step = step;
+  checkpoint.wal_records_logged =
+      wal_records_logged_ + durable_coordinator_->records_logged();
+
+  // The query-layer view doubles as the checkpoint payload core.
+  checkpoint.snapshot.publish_seq = checkpoint_seq_ + 1;
+  checkpoint.snapshot.state_version = coordinator_->StateVersion();
+  checkpoint.snapshot.steps = step;
+  checkpoint.snapshot.session_epoch = coordinator_session_->MaxSiteEpoch();
+  checkpoint.snapshot.stale = !coordinator_session_->AllGapsResolved();
+  checkpoint.snapshot.sample = coordinator_->ShardSample();
+  checkpoint.snapshot.threshold = coordinator_->Threshold();
+  if (runtime_) checkpoint.snapshot.messages = runtime_->stats();
+
+  checkpoint.coordinator = coordinator_->SaveState();
+  checkpoint.session = coordinator_session_->SaveState();
+  checkpoint.site_valid.resize(static_cast<size_t>(num_sites_), 0);
+  for (int i = 0; i < num_sites_; ++i) {
+    faults::SiteSession* session = site_sessions_[static_cast<size_t>(i)].get();
+    checkpoint.site_sessions.push_back(session->SaveState());
+    if (session->endpoint() != nullptr) {
+      checkpoint.site_valid[static_cast<size_t>(i)] = 1;
+      checkpoint.sites.push_back(
+          static_cast<WsworSite*>(session->endpoint())->SaveState());
+    }
+  }
+  checkpoint.transport = faulty_->SaveState();
+  checkpoint.kills_done = kills_done_;
+  checkpoint.last_kill_step = last_kill_step_;
+  return checkpoint;
+}
+
+void DurableWswor::RestoreFromCheckpoint(const ShardCheckpoint& c) {
+  DWRS_CHECK_EQ(c.site_sessions.size(), static_cast<size_t>(num_sites_))
+      << " checkpoint site count mismatch";
+  coordinator_->RestoreState(c.coordinator);
+  coordinator_session_->RestoreState(c.session);
+  size_t valid = 0;
+  for (int i = 0; i < num_sites_; ++i) {
+    faults::SiteSession* session = site_sessions_[static_cast<size_t>(i)].get();
+    session->RestoreState(c.site_sessions[static_cast<size_t>(i)]);
+    if (c.site_valid[static_cast<size_t>(i)]) {
+      DWRS_CHECK(session->endpoint() != nullptr);
+      DWRS_CHECK_LT(valid, c.sites.size());
+      static_cast<WsworSite*>(session->endpoint())
+          ->RestoreState(c.sites[valid++]);
+    }
+  }
+  DWRS_CHECK_EQ(valid, c.sites.size());
+  faulty_->RestoreState(c.transport);
+}
+
+void DurableWswor::WriteCheckpoint(uint64_t step) {
+  ShardCheckpoint checkpoint = CaptureCheckpoint(step);
+  checkpoint.checkpoint_seq = checkpoint_seq_ + 1;
+  if (wal_) {
+    // Close out the current segment: the checkpoint mark is its final
+    // committed record, so a later reader can audit the rotation.
+    WalRecord mark;
+    mark.type = WalRecordType::kCheckpointMark;
+    mark.step = checkpoint.checkpoint_seq;
+    AppendHarnessRecord(mark);
+    DWRS_CHECK(wal_->Commit()) << " wal commit failed: " << wal_->error();
+    wal_->Close();
+    FoldInto(&closed_segment_stats_, wal_->stats());
+    wal_.reset();
+  }
+  std::string error;
+  DWRS_CHECK(WriteCheckpointFile(options_.dir, checkpoint, &error))
+      << " checkpoint write failed: " << error;
+  checkpoint_seq_ = checkpoint.checkpoint_seq;
+  ++checkpoints_written_;
+  if (obs::TracingEnabled()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::kCheckpointWrite;
+    event.a = checkpoint.checkpoint_seq;
+    event.step = step;
+    event.shard = static_cast<int16_t>(trace_shard_);
+    obs::Emit(event);
+  }
+  OpenSegment(checkpoint_seq_, /*truncate=*/true);
+}
+
+bool DurableWswor::Recover() {
+  last_recovery_ = RecoveryReport{};
+  catching_up_ = false;
+  catch_up_until_ = 0;
+  const std::optional<ShardCheckpoint> loaded =
+      LoadLatestCheckpoint(options_.dir);
+  BuildStack();
+  uint64_t scan_seq = 0;
+  if (loaded) {
+    RestoreFromCheckpoint(*loaded);
+    checkpoint_seq_ = loaded->checkpoint_seq;
+    feed_step_ = loaded->step;
+    wal_records_logged_ = loaded->wal_records_logged;
+    kills_done_ = std::max(kills_done_, loaded->kills_done);
+    last_kill_step_ = std::max(last_kill_step_, loaded->last_kill_step);
+    scan_seq = loaded->checkpoint_seq;
+    last_recovery_.checkpoint_seq = loaded->checkpoint_seq;
+    last_recovery_.checkpoint_step = loaded->step;
+  } else {
+    checkpoint_seq_ = 0;
+    feed_step_ = 0;
+  }
+
+  // The WAL tail: the loaded generation's segment, plus any later
+  // segments (present when the newest checkpoint was torn and the load
+  // fell back a generation — the later segments' records continue the
+  // arrival stream seamlessly, because rotation happens at capture).
+  std::vector<WalRecord> records;
+  uint64_t last_seq = scan_seq;
+  bool stop_scan = false;
+  for (uint64_t seq = scan_seq; !stop_scan; ++seq) {
+    const WalReadResult segment =
+        ReadWalFile(WalSegmentPath(options_.dir, seq));
+    if (!segment.ok) break;
+    last_seq = seq;
+    if (segment.truncated_tail) last_recovery_.wal_tail_truncated = true;
+    for (const std::vector<uint8_t>& payload : segment.payloads) {
+      const std::optional<WalRecord> record = DecodeWalRecord(payload);
+      if (!record) {
+        // CRC-valid but undecodable: format corruption, not a torn
+        // write. Stop here and flag — never skip past it.
+        stop_scan = true;
+        last_recovery_.consistent = false;
+        break;
+      }
+      records.push_back(*record);
+    }
+    if (segment.truncated_tail && !stop_scan) {
+      // A torn tail ends the trustworthy stream. In the FINAL segment
+      // that is the expected mid-write kill signature; records in any
+      // LATER segment would sit past a gap — never replay across one.
+      stop_scan = true;
+      if (ReadWalFile(WalSegmentPath(options_.dir, seq + 1)).ok) {
+        last_recovery_.consistent = false;
+      }
+    }
+  }
+  last_recovery_.recovered = loaded.has_value() || !records.empty();
+
+  // Replay through the LAST committed step mark: everything behind it
+  // belongs to a step that never durably quiesced and is regenerated by
+  // the re-feed.
+  size_t cut = 0;
+  uint64_t durable_step = feed_step_;
+  for (size_t i = records.size(); i-- > 0;) {
+    if (records[i].type == WalRecordType::kStepMark) {
+      cut = i + 1;
+      durable_step = records[i].step;
+      break;
+    }
+  }
+  last_recovery_.durable_step = durable_step;
+  last_recovery_.wal_records_truncated =
+      static_cast<uint64_t>(records.size() - cut);
+
+  // Replay the arrival stream through the real session code, sends
+  // aimed at a capture sink; decision records regenerate into
+  // `regenerated` for the cross-check below.
+  CaptureTransport sink;
+  std::vector<WalRecord> regenerated;
+  switchable_->set_target(&sink);
+  durable_coordinator_->set_replay_capture(&regenerated);
+  std::vector<const WalRecord*> logged_decisions;
+  catch_up_broadcasts_.clear();
+  for (size_t i = 0; i < cut; ++i) {
+    const WalRecord& record = records[i];
+    switch (record.type) {
+      case WalRecordType::kMessage:
+        durable_coordinator_->OnMessage(record.site, record.msg);
+        break;
+      case WalRecordType::kThresholdBump:
+      case WalRecordType::kEpochChange:
+      case WalRecordType::kSampleDelta:
+        logged_decisions.push_back(&record);
+        break;
+      case WalRecordType::kStepMark: {
+        // Broadcasts the replayed arrivals of this step regenerated;
+        // the catch-up re-feed re-injects them at the same boundary.
+        std::vector<sim::Payload> broadcasts = sink.TakeBroadcasts();
+        if (!broadcasts.empty()) {
+          catch_up_broadcasts_.emplace_back(record.step,
+                                            std::move(broadcasts));
+        }
+        break;
+      }
+      case WalRecordType::kCheckpointMark:
+        break;
+    }
+  }
+  durable_coordinator_->set_replay_capture(nullptr);
+  switchable_->set_target(tracing_.get());
+  last_recovery_.wal_records_replayed = static_cast<uint64_t>(cut);
+  wal_records_replayed_ += static_cast<uint64_t>(cut);
+
+  if (options_.log_decisions) {
+    if (regenerated.size() != logged_decisions.size()) {
+      last_recovery_.consistent = false;
+    } else {
+      for (size_t i = 0; i < regenerated.size(); ++i) {
+        if (!DecisionEquals(regenerated[i], *logged_decisions[i])) {
+          last_recovery_.consistent = false;
+          break;
+        }
+      }
+    }
+  }
+  recovery_consistent_ = recovery_consistent_ && last_recovery_.consistent;
+
+  if (obs::TracingEnabled()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::kRecoveryReplay;
+    event.a = static_cast<uint64_t>(cut);
+    event.step = durable_step;
+    event.shard = static_cast<int16_t>(trace_shard_);
+    obs::Emit(event);
+  }
+
+  if (!last_recovery_.recovered) {
+    // Fresh directory: genesis segment, no checkpoint yet.
+    OpenSegment(0, /*truncate=*/true);
+    return false;
+  }
+  ++recoveries_;
+  checkpoint_seq_ = std::max(checkpoint_seq_, last_seq);
+  if (durable_step > feed_step_) {
+    // Sites sit at B while session + coordinator sit at D: defer all
+    // durable writes until the feeder has re-run (B, D] and the whole
+    // stack is a pure D-state. Until then the old segments stay
+    // authoritative — a second kill inside the window replays them
+    // idempotently.
+    catching_up_ = true;
+    catch_up_until_ = durable_step;
+  } else {
+    // Recovery checkpoint: supersede every replayed segment and rotate
+    // to a fresh one, so recovery never appends to an old segment file.
+    catch_up_broadcasts_.clear();
+    WriteCheckpoint(feed_step_);
+  }
+  return true;
+}
+
+void DurableWswor::Run(const Workload& workload,
+                       const std::function<void(uint64_t)>& on_step) {
+  DWRS_CHECK_EQ(workload.num_sites(), num_sites_);
+  uint64_t step = feed_step_;
+  size_t broadcast_cursor = 0;  // next pending catch-up broadcast batch
+  while (step < workload.size()) {
+    const WorkloadEvent& event = workload.event(step);
+    if (runtime_) {
+      runtime_->Deliver(event);
+    } else {
+      engine_->Push(event.site, event.item);
+      engine_->Flush();
+    }
+    ++step;
+    feed_step_ = step;
+    if (catching_up_) {
+      // Catch-up window (B, D]: logging is off — the old segments
+      // already cover these steps. The session duplicate-drops (and
+      // re-acks) the re-sent arrivals; what it cannot regenerate are
+      // the coordinator-initiated broadcasts, so re-inject the captured
+      // ones at their original step boundary.
+      while (broadcast_cursor < catch_up_broadcasts_.size() &&
+             catch_up_broadcasts_[broadcast_cursor].first < step) {
+        ++broadcast_cursor;
+      }
+      if (broadcast_cursor < catch_up_broadcasts_.size() &&
+          catch_up_broadcasts_[broadcast_cursor].first == step) {
+        for (const sim::Payload& msg :
+             catch_up_broadcasts_[broadcast_cursor].second) {
+          switchable_->Broadcast(msg);
+        }
+        ++broadcast_cursor;
+        FlushBackend();
+      }
+      if (step == catch_up_until_) {
+        // The whole stack is a pure D-state again: make it durable and
+        // resume normal logging on a fresh segment.
+        catching_up_ = false;
+        catch_up_broadcasts_.clear();
+        broadcast_cursor = 0;
+        WriteCheckpoint(step);
+      }
+    } else {
+      // Quiesce point: the step's message exchange is complete on both
+      // backends, so the mark is ordered after every record it covers.
+      WalRecord mark;
+      mark.type = WalRecordType::kStepMark;
+      mark.step = step;
+      AppendHarnessRecord(mark);
+      if (step % options_.commit_interval_steps == 0) {
+        DWRS_CHECK(wal_->Commit()) << " wal commit failed: " << wal_->error();
+      }
+      if (step % options_.checkpoint_interval_steps == 0) {
+        WriteCheckpoint(step);
+      }
+    }
+    if (on_step) on_step(step);
+    if (schedule_.ProcessKillsAt(step) &&
+        kills_done_ < static_cast<uint64_t>(
+                          std::max(0, schedule_.config().max_process_kills)) &&
+        step > last_kill_step_) {
+      ++kills_done_;
+      last_kill_step_ = step;
+      // kill -9: every volatile byte dies — un-committed WAL buffers
+      // included — then the process image is rebuilt from disk.
+      TearDownStack(/*abandon_pending=*/true);
+      Recover();
+      step = feed_step_;
+      broadcast_cursor = 0;
+    }
+  }
+  DWRS_CHECK(!catching_up_)
+      << " workload ended inside the recovery catch-up window (the re-fed"
+         " stream must cover every durably logged step)";
+  Reconcile();
+  // Final checkpoint (post-reconcile): commits the reconcile-round
+  // records and leaves the directory resumable at end of stream.
+  WriteCheckpoint(feed_step_);
+}
+
+void DurableWswor::FlushBackend() {
+  if (runtime_) {
+    runtime_->Flush();
+  } else {
+    engine_->Flush();
+  }
+}
+
+void DurableWswor::Reconcile() {
+  faulty_->set_enabled(false);
+  for (int round = 0; round < kMaxReconcileRounds; ++round) {
+    faulty_->FlushDelayed();
+    FlushBackend();
+    bool drained = true;
+    for (const auto& session : site_sessions_) {
+      if (session->unacked_size() != 0) drained = false;
+    }
+    if (drained) break;
+    for (const auto& session : site_sessions_) {
+      session->RetransmitAllUnacked();
+    }
+    FlushBackend();
+  }
+  for (const auto& session : site_sessions_) {
+    DWRS_CHECK_EQ(session->unacked_size(), 0u)
+        << " reconcile failed to drain site retransmit buffers";
+  }
+}
+
+faults::RunReport DurableWswor::report() const {
+  faults::RunReport out;
+  out.transcript_hash = coordinator_session_->transcript_hash();
+  out.delivered = coordinator_session_->delivered();
+  out.crash_detections = coordinator_session_->crash_detections();
+  out.resyncs_sent = coordinator_session_->resyncs_sent();
+  out.duplicates_dropped = coordinator_session_->duplicates_dropped();
+  out.gaps_detected = coordinator_session_->gaps_detected();
+  out.nacks_sent = coordinator_session_->nacks_sent();
+  out.stale_epoch_dropped = coordinator_session_->stale_epoch_dropped();
+  for (const auto& session : site_sessions_) {
+    out.crashes += session->crashes();
+    out.lost_unacked += session->lost_unacked();
+    out.items_lost += session->items_lost();
+    out.retransmits_sent += session->retransmits_sent();
+    out.messages_dropped_down += session->messages_dropped_down();
+  }
+  const faults::FaultCounters& fc = faulty_->counters();
+  out.faults_forwarded = fc.forwarded.load(std::memory_order_relaxed);
+  out.faults_dropped = fc.dropped.load(std::memory_order_relaxed);
+  out.faults_duplicated = fc.duplicated.load(std::memory_order_relaxed);
+  out.faults_delayed = fc.delayed.load(std::memory_order_relaxed);
+  out.process_kills = kills_done_;
+  out.recoveries = recoveries_;
+  out.wal_records_logged =
+      wal_records_logged_ + durable_coordinator_->records_logged();
+  out.wal_records_replayed = wal_records_replayed_;
+  out.checkpoints_written = checkpoints_written_;
+  out.recovery_consistent = recovery_consistent_;
+  out.clean = out.lost_unacked == 0 && recovery_consistent_ &&
+              coordinator_session_->AllGapsResolved();
+  return out;
+}
+
+ProbeState DurableWswor::Probe() const {
+  ProbeState probe;
+  probe.state_version = coordinator_->StateVersion();
+  probe.delivered = coordinator_session_->delivered();
+  probe.transcript_hash = coordinator_session_->transcript_hash();
+  probe.threshold_bits = Bits(coordinator_->Threshold());
+  for (const KeyedItem& ki : coordinator_->Sample()) {
+    probe.sample.emplace_back(ki.item.id, Bits(ki.key));
+  }
+  return probe;
+}
+
+std::vector<uint64_t> DurableWswor::SampleIds() const {
+  std::vector<uint64_t> ids;
+  for (const KeyedItem& ki : coordinator_->Sample()) ids.push_back(ki.item.id);
+  return ids;
+}
+
+WalStats DurableWswor::wal_stats() const {
+  WalStats total = closed_segment_stats_;
+  if (wal_) FoldInto(&total, wal_->stats());
+  return total;
+}
+
+// --- ShardedDurableWswor ----------------------------------------------
+
+ShardedDurableWswor::ShardedDurableWswor(
+    const WsworConfig& config,
+    const std::vector<faults::FaultConfig>& shard_faults,
+    faults::Backend backend, const DurabilityOptions& options)
+    : topology_(config.num_sites, static_cast<int>(shard_faults.size())) {
+  DWRS_CHECK(!options.dir.empty()) << " durability dir is required";
+  DWRS_CHECK(EnsureDir(options.dir))
+      << " cannot create durability dir " << options.dir;
+  shards_.reserve(shard_faults.size());
+  for (int shard = 0; shard < topology_.num_shards(); ++shard) {
+    WsworConfig shard_config = config;
+    shard_config.num_sites = topology_.SiteCount(shard);
+    shard_config.seed = ShardSeed(config.seed, shard);
+    DurabilityOptions shard_options = options;
+    shard_options.dir = options.dir + "/shard-" + std::to_string(shard);
+    shards_.push_back(std::make_unique<DurableWswor>(
+        shard_config, shard_faults[static_cast<size_t>(shard)], backend,
+        shard_options, /*trace_shard=*/shard));
+  }
+}
+
+void ShardedDurableWswor::Run(const Workload& workload) {
+  const std::vector<Workload> splits = SplitByShard(workload, topology_);
+  for (int shard = 0; shard < topology_.num_shards(); ++shard) {
+    shards_[static_cast<size_t>(shard)]->Run(
+        splits[static_cast<size_t>(shard)]);
+  }
+}
+
+faults::RunReport ShardedDurableWswor::report() const {
+  faults::RunReport out;
+  out.transcript_hash = 1469598103934665603ull;  // FNV offset basis
+  out.clean = true;
+  for (const auto& shard : shards_) {
+    const faults::RunReport r = shard->report();
+    for (int b = 0; b < 64; b += 8) {
+      out.transcript_hash ^= (r.transcript_hash >> b) & 0xffull;
+      out.transcript_hash *= 1099511628211ull;  // FNV prime
+    }
+    out.delivered += r.delivered;
+    out.crashes += r.crashes;
+    out.crash_detections += r.crash_detections;
+    out.resyncs_sent += r.resyncs_sent;
+    out.lost_unacked += r.lost_unacked;
+    out.items_lost += r.items_lost;
+    out.duplicates_dropped += r.duplicates_dropped;
+    out.gaps_detected += r.gaps_detected;
+    out.nacks_sent += r.nacks_sent;
+    out.retransmits_sent += r.retransmits_sent;
+    out.stale_epoch_dropped += r.stale_epoch_dropped;
+    out.messages_dropped_down += r.messages_dropped_down;
+    out.faults_forwarded += r.faults_forwarded;
+    out.faults_dropped += r.faults_dropped;
+    out.faults_duplicated += r.faults_duplicated;
+    out.faults_delayed += r.faults_delayed;
+    out.process_kills += r.process_kills;
+    out.recoveries += r.recoveries;
+    out.wal_records_logged += r.wal_records_logged;
+    out.wal_records_replayed += r.wal_records_replayed;
+    out.checkpoints_written += r.checkpoints_written;
+    out.recovery_consistent = out.recovery_consistent && r.recovery_consistent;
+    out.clean = out.clean && r.clean;
+  }
+  return out;
+}
+
+MergeableSample ShardedDurableWswor::MergedSample() const {
+  std::vector<MergeableSample> summaries;
+  summaries.reserve(shards_.size());
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    summaries.push_back(
+        sim::CheckedShardSummary(&shards_[shard]->coordinator(), shard));
+  }
+  return MergeShardSamples(summaries);
+}
+
+std::vector<uint64_t> ShardedDurableWswor::MergedSampleIds() const {
+  std::vector<uint64_t> ids;
+  for (const KeyedItem& ki : MergedSample().TopEntries()) {
+    ids.push_back(ki.item.id);
+  }
+  return ids;
+}
+
+}  // namespace dwrs::durability

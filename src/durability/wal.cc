@@ -1,0 +1,258 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace dwrs::durability {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU32Le(std::vector<uint8_t>* out, uint32_t x) {
+  out->push_back(static_cast<uint8_t>(x));
+  out->push_back(static_cast<uint8_t>(x >> 8));
+  out->push_back(static_cast<uint8_t>(x >> 16));
+  out->push_back(static_cast<uint8_t>(x >> 24));
+}
+
+uint32_t GetU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+// A single frame may not dwarf the file: a corrupted length field would
+// otherwise make the reader attempt a multi-gigabyte allocation.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+WalWriter::WalWriter(const std::string& path, const WalWriterOptions& options,
+                     bool truncate)
+    : path_(path), options_(options) {
+  const int flags =
+      truncate ? (O_CREAT | O_WRONLY | O_TRUNC) : (O_CREAT | O_WRONLY);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    error_ = "open failed: " + std::string(std::strerror(errno));
+    return;
+  }
+  if (truncate) {
+    std::vector<uint8_t> header(kWalMagic, kWalMagic + 4);
+    header.push_back(kWalFormatVersion);
+    if (!WriteAll(header.data(), header.size())) return;
+  } else {
+    if (::lseek(fd_, 0, SEEK_END) < 0) {
+      error_ = "lseek failed: " + std::string(std::strerror(errno));
+      return;
+    }
+  }
+  if (options_.group_commit) {
+    flush_worker_ = std::thread([this] { FlushWorkerMain(); });
+  }
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+size_t WalWriter::Append(const std::vector<uint8_t>& payload) {
+  DWRS_CHECK_LE(payload.size(), static_cast<size_t>(kMaxFrameBytes));
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  bool wake = false;
+  size_t framed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PutU32Le(&pending_, static_cast<uint32_t>(payload.size()));
+    PutU32Le(&pending_, crc);
+    pending_.insert(pending_.end(), payload.begin(), payload.end());
+    framed = payload.size() + kWalFrameOverhead;
+    ++stats_.appends;
+    stats_.bytes_appended += framed;
+    wake = options_.group_commit && pending_.size() >= options_.flush_bytes;
+  }
+  if (obs::TracingEnabled()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::kWalAppend;
+    event.a = framed;
+    obs::Emit(event);
+  }
+  if (wake) flush_cv_.notify_one();
+  return framed;
+}
+
+bool WalWriter::WriteAll(const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd_, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      error_ = "write failed: " + std::string(std::strerror(errno));
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool WalWriter::CommitLocked(std::unique_lock<std::mutex>& lock) {
+  if (pending_.empty()) return error_.empty();
+  // Swap the buffer out so appenders keep enqueueing while the kernel
+  // write (and fsync) proceeds unlocked — the group-commit point.
+  std::vector<uint8_t> batch;
+  batch.swap(pending_);
+  lock.unlock();
+  const bool write_ok = WriteAll(batch.data(), batch.size());
+  bool fsync_ok = true;
+  if (write_ok && options_.fsync_commits) {
+    fsync_ok = ::fdatasync(fd_) == 0;
+    if (!fsync_ok) {
+      error_ = "fdatasync failed: " + std::string(std::strerror(errno));
+    }
+  }
+  if (obs::TracingEnabled()) {
+    obs::TraceEvent event;
+    event.type = obs::EventType::kWalFsync;
+    event.a = batch.size();
+    obs::Emit(event);
+  }
+  lock.lock();
+  ++stats_.commits;
+  if (write_ok && options_.fsync_commits && fsync_ok) ++stats_.fsyncs;
+  if (write_ok) stats_.bytes_committed += batch.size();
+  return write_ok && fsync_ok;
+}
+
+bool WalWriter::Commit() {
+  if (fd_ < 0) return false;
+  std::unique_lock<std::mutex> lock(mutex_);
+  return CommitLocked(lock);
+}
+
+void WalWriter::AbandonPending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+}
+
+bool WalWriter::Close() {
+  if (flush_worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_worker_ = true;
+    }
+    flush_cv_.notify_one();
+    flush_worker_.join();
+  }
+  if (fd_ < 0) return error_.empty();
+  bool ok = true;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ok = CommitLocked(lock);
+  }
+  if (ok) {
+    if (::fdatasync(fd_) != 0) {
+      error_ = "fdatasync failed: " + std::string(std::strerror(errno));
+      ok = false;
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.fsyncs;
+    }
+  }
+  ::close(fd_);
+  fd_ = -1;
+  return ok && error_.empty();
+}
+
+size_t WalWriter::pending_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+WalStats WalWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void WalWriter::FlushWorkerMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_worker_) {
+    flush_cv_.wait_for(
+        lock, std::chrono::microseconds(options_.flush_interval_us), [this] {
+          return stop_worker_ || pending_.size() >= options_.flush_bytes;
+        });
+    if (stop_worker_) break;
+    CommitLocked(lock);
+  }
+}
+
+WalReadResult ReadWalFile(const std::string& path) {
+  WalReadResult out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    out.error = "open failed: " + std::string(std::strerror(errno));
+    return out;
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  if (bytes.size() < kWalHeaderSize ||
+      std::memcmp(bytes.data(), kWalMagic, 4) != 0) {
+    out.error = "bad WAL magic";
+    return out;
+  }
+  if (bytes[4] != kWalFormatVersion) {
+    out.error = "unsupported WAL format version " + std::to_string(bytes[4]);
+    return out;
+  }
+  out.ok = true;
+  size_t pos = kWalHeaderSize;
+  while (pos + kWalFrameOverhead <= bytes.size()) {
+    const uint32_t len = GetU32Le(bytes.data() + pos);
+    const uint32_t crc = GetU32Le(bytes.data() + pos + 4);
+    if (len > kMaxFrameBytes ||
+        pos + kWalFrameOverhead + len > bytes.size()) {
+      break;  // torn or garbage length field: end of valid prefix
+    }
+    const uint8_t* payload = bytes.data() + pos + kWalFrameOverhead;
+    if (Crc32(payload, len) != crc) break;  // bit flip or torn payload
+    out.payloads.emplace_back(payload, payload + len);
+    pos += kWalFrameOverhead + len;
+  }
+  out.valid_bytes = pos;
+  out.truncated_tail = pos < bytes.size();
+  return out;
+}
+
+}  // namespace dwrs::durability

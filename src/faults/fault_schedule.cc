@@ -28,6 +28,7 @@ constexpr uint64_t kDupSalt = 2;
 constexpr uint64_t kDelaySalt = 3;
 constexpr uint64_t kDelayAmountSalt = 4;
 constexpr uint64_t kCrashSalt = 5;
+constexpr uint64_t kProcessKillSalt = 6;
 
 }  // namespace
 
@@ -36,8 +37,13 @@ FaultSchedule::FaultSchedule(const FaultConfig& config) : config_(config) {
   DWRS_CHECK(config.duplicate_prob >= 0.0 && config.duplicate_prob <= 1.0);
   DWRS_CHECK(config.delay_prob >= 0.0 && config.delay_prob <= 1.0);
   DWRS_CHECK(config.crash_prob >= 0.0 && config.crash_prob <= 1.0);
+  DWRS_CHECK(config.process_kill_prob >= 0.0 &&
+             config.process_kill_prob <= 1.0);
   if (config.delay_prob > 0.0) DWRS_CHECK_GE(config.max_delay, 1);
   if (config.crash_prob > 0.0) DWRS_CHECK_GE(config.crash_down_items, 1);
+  if (config.process_kill_prob > 0.0) {
+    DWRS_CHECK_GE(config.max_process_kills, 1);
+  }
 }
 
 SendFaults FaultSchedule::OnSend(uint32_t channel, uint64_t index) const {
@@ -67,6 +73,12 @@ bool FaultSchedule::CrashesAt(int site, uint64_t item_index) const {
   if (config_.crash_prob <= 0.0) return false;
   return ToUnit(Mix(config_.seed, kCrashSalt, static_cast<uint64_t>(site),
                     item_index)) < config_.crash_prob;
+}
+
+bool FaultSchedule::ProcessKillsAt(uint64_t step) const {
+  if (config_.process_kill_prob <= 0.0) return false;
+  return ToUnit(Mix(config_.seed, kProcessKillSalt, 0, step)) <
+         config_.process_kill_prob;
 }
 
 }  // namespace dwrs::faults

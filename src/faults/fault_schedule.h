@@ -44,6 +44,16 @@ struct FaultConfig {
   // Direction gates: which directions the message faults apply to.
   bool fault_upstream = true;    // site -> coordinator
   bool fault_downstream = true;  // coordinator -> site
+
+  // Whole-process kill (the durability scenario, src/durability/): at a
+  // stream step where ProcessKillsAt fires, the durable harness destroys
+  // the entire shard stack — backend, transport, sessions, endpoints,
+  // un-fsynced WAL buffers — and recovers it from checkpoint + WAL
+  // instead of resyncing from live peers. Probability is per step;
+  // max_process_kills bounds the kills per run (enforced by the harness,
+  // so the schedule itself stays a pure function).
+  double process_kill_prob = 0.0;
+  int max_process_kills = 2;
 };
 
 // The per-send verdict. delay == 0 means deliver now.
@@ -68,6 +78,11 @@ class FaultSchedule {
   // True iff the site crashes upon its index-th item arrival (0-based
   // count of every arrival, including those lost while down).
   bool CrashesAt(int site, uint64_t item_index) const;
+
+  // True iff the whole shard process is killed after stream step `step`
+  // (1-based, a quiesce point). Independent of the message/crash
+  // verdicts, so enabling kills never perturbs the rest of the schedule.
+  bool ProcessKillsAt(uint64_t step) const;
 
  private:
   FaultConfig config_;

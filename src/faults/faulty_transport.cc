@@ -115,6 +115,27 @@ void FaultyTransport::Broadcast(const sim::Payload& msg) {
   for (int site = 0; site < num_sites_; ++site) SendToSite(site, msg);
 }
 
+FaultyTransport::State FaultyTransport::SaveState() const {
+  State s;
+  s.channels = channels_;
+  s.forwarded = counters_.forwarded.load(std::memory_order_relaxed);
+  s.dropped = counters_.dropped.load(std::memory_order_relaxed);
+  s.duplicated = counters_.duplicated.load(std::memory_order_relaxed);
+  s.delayed = counters_.delayed.load(std::memory_order_relaxed);
+  s.enabled = enabled();
+  return s;
+}
+
+void FaultyTransport::RestoreState(const State& s) {
+  DWRS_CHECK_EQ(s.channels.size(), channels_.size());
+  channels_ = s.channels;
+  counters_.forwarded.store(s.forwarded, std::memory_order_relaxed);
+  counters_.dropped.store(s.dropped, std::memory_order_relaxed);
+  counters_.duplicated.store(s.duplicated, std::memory_order_relaxed);
+  counters_.delayed.store(s.delayed, std::memory_order_relaxed);
+  enabled_.store(s.enabled, std::memory_order_relaxed);
+}
+
 void FaultyTransport::FlushDelayed() {
   // Down-channels strictly before up-channels: the caller holds a
   // quiesced engine, so the coordinator thread is parked until the first

@@ -67,13 +67,29 @@ class FaultyTransport : public sim::Transport {
   // Shard label stamped on this transport's flight-recorder events.
   void set_trace_shard(int shard) { trace_shard_ = shard; }
 
- private:
   struct ChannelState {
     uint64_t next_index = 0;
     // (release once next_index exceeds .first, payload); insertion order.
     std::vector<std::pair<uint64_t, sim::Payload>> held;
   };
 
+  // --- durable-checkpoint surface (src/durability/) --------------------
+  // Per-channel send indices and withheld messages plus the verdict
+  // counters: restoring them keeps every post-recovery send at the same
+  // fault-schedule coordinate it had in the original timeline, which is
+  // what keeps a recovered run deterministic. Quiesce points only.
+  struct State {
+    std::vector<ChannelState> channels;
+    uint64_t forwarded = 0;
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;
+    uint64_t delayed = 0;
+    bool enabled = true;
+  };
+  State SaveState() const;
+  void RestoreState(const State& s);
+
+ private:
   // channel ids: 0..k-1 up, k..2k-1 down (matching sim::Network).
   void Send(uint32_t channel, int site, bool upstream, const sim::Payload& msg);
   void Forward(int site, bool upstream, const sim::Payload& msg);

@@ -81,6 +81,17 @@ struct RunReport {
   uint64_t faults_dropped = 0;
   uint64_t faults_duplicated = 0;
   uint64_t faults_delayed = 0;
+  // Durability counters (src/durability/): zero unless the run went
+  // through a DurableWswor harness with process kills enabled.
+  uint64_t process_kills = 0;     // whole-shard kill -9 events
+  uint64_t recoveries = 0;        // successful checkpoint+WAL recoveries
+  uint64_t wal_records_logged = 0;
+  uint64_t wal_records_replayed = 0;
+  uint64_t checkpoints_written = 0;
+  // False iff a recovery replay's regenerated events diverged from the
+  // decision records logged by the original timeline — a flagged
+  // (never silent) degraded result.
+  bool recovery_consistent = true;
   // True iff every stamped message was delivered exactly once: no buffer
   // was wiped mid-flight and reconcile drained everything. A clean run's
   // sample is an exact SWOR over the items processed by live sites.

@@ -214,6 +214,49 @@ void SiteSession::Restart() {
   SendToCoordinator(site_, hello);
 }
 
+SiteSession::State SiteSession::SaveState() const {
+  State s;
+  s.epoch = epoch_;
+  s.next_seq = next_seq_;
+  s.unacked.assign(unacked_.begin(), unacked_.end());
+  s.retransmit_pending = retransmit_pending_;
+  s.retransmit_from = retransmit_from_;
+  s.items_seen = items_seen_;
+  s.down = down_;
+  s.down_remaining = down_remaining_;
+  s.crashes = crashes_;
+  s.lost_unacked = lost_unacked_;
+  s.items_lost = items_lost_;
+  s.messages_dropped_down = messages_dropped_down_;
+  s.retransmits_sent = retransmits_sent_;
+  s.pre_crash_counters = pre_crash_counters_;
+  return s;
+}
+
+void SiteSession::RestoreState(const State& s) {
+  epoch_ = s.epoch;
+  next_seq_ = s.next_seq;
+  unacked_.assign(s.unacked.begin(), s.unacked.end());
+  retransmit_pending_ = s.retransmit_pending;
+  retransmit_from_ = s.retransmit_from;
+  items_seen_ = s.items_seen;
+  down_ = s.down;
+  down_remaining_ = s.down_remaining;
+  crashes_ = s.crashes;
+  lost_unacked_ = s.lost_unacked;
+  items_lost_ = s.items_lost;
+  messages_dropped_down_ = s.messages_dropped_down;
+  retransmits_sent_ = s.retransmits_sent;
+  pre_crash_counters_ = s.pre_crash_counters;
+  // Rebuild the endpoint at the saved epoch (dead while down); no hello —
+  // this incarnation already introduced itself in the original timeline.
+  endpoint_.reset();
+  if (!down_) {
+    endpoint_ = factory_(this, epoch_);
+    DWRS_CHECK(endpoint_ != nullptr);
+  }
+}
+
 // ---------------------------------------------------------------------
 // CoordinatorSession
 
@@ -348,6 +391,33 @@ void CoordinatorSession::OnMessage(int site, const sim::Payload& msg) {
   }
   if (msg.type != kSessionHello) inner_->OnMessage(site, msg);
   SendAck(site, peer);
+}
+
+CoordinatorSession::State CoordinatorSession::SaveState() const {
+  State s;
+  s.peers = peers_;
+  s.transcript_hash = transcript_hash_;
+  s.delivered = delivered_;
+  s.duplicates_dropped = duplicates_dropped_;
+  s.stale_epoch_dropped = stale_epoch_dropped_;
+  s.gaps_detected = gaps_detected_;
+  s.nacks_sent = nacks_sent_;
+  s.crash_detections = crash_detections_;
+  s.resyncs_sent = resyncs_sent_;
+  return s;
+}
+
+void CoordinatorSession::RestoreState(const State& s) {
+  DWRS_CHECK_EQ(s.peers.size(), peers_.size());
+  peers_ = s.peers;
+  transcript_hash_ = s.transcript_hash;
+  delivered_ = s.delivered;
+  duplicates_dropped_ = s.duplicates_dropped;
+  stale_epoch_dropped_ = s.stale_epoch_dropped;
+  gaps_detected_ = s.gaps_detected;
+  nacks_sent_ = s.nacks_sent;
+  crash_detections_ = s.crash_detections;
+  resyncs_sent_ = s.resyncs_sent;
 }
 
 bool CoordinatorSession::AllGapsResolved() const {

@@ -112,6 +112,38 @@ class SiteSession : public sim::SiteNode, public sim::Transport {
   // (sharded harness wiring; 0 for unsharded runs).
   void set_trace_shard(int shard) { trace_shard_ = shard; }
 
+  // --- durable-checkpoint surface (src/durability/) --------------------
+  // Everything volatile the session owns: the reliability stamps, the
+  // unacked retransmit buffer, the crash/down bookkeeping and the
+  // counters. The endpoint's own protocol state is saved separately by
+  // the durability layer through endpoint().
+  struct State {
+    uint32_t epoch = 0;
+    uint32_t next_seq = 1;
+    std::vector<sim::Payload> unacked;
+    bool retransmit_pending = false;
+    uint32_t retransmit_from = 0;
+    uint64_t items_seen = 0;
+    bool down = false;
+    uint64_t down_remaining = 0;
+    uint64_t crashes = 0;
+    uint64_t lost_unacked = 0;
+    uint64_t items_lost = 0;
+    uint64_t messages_dropped_down = 0;
+    uint64_t retransmits_sent = 0;
+    sim::SiteHotPathCounters pre_crash_counters;
+  };
+  State SaveState() const;
+  // Restores the session and rebuilds the endpoint at the saved epoch
+  // (no endpoint while down). Sends nothing — unlike Restart(), the
+  // restored incarnation already introduced itself in the original
+  // timeline. The caller restores the endpoint's protocol state
+  // afterwards through endpoint().
+  void RestoreState(const State& s);
+  // The live protocol endpoint (nullptr while down). Mutable access for
+  // the durability layer's endpoint state save/restore only.
+  sim::SiteNode* endpoint() { return endpoint_.get(); }
+
  private:
   void Crash();
   void Restart();
@@ -203,7 +235,6 @@ class CoordinatorSession : public sim::CoordinatorNode {
   // some site of this shard crashed and restarted).
   uint32_t MaxSiteEpoch() const;
 
- private:
   struct PeerState {
     uint32_t epoch = 0;
     uint32_t expected_seq = 1;
@@ -213,6 +244,26 @@ class CoordinatorSession : public sim::CoordinatorNode {
     uint32_t last_nacked_expected = 0;
   };
 
+  // --- durable-checkpoint surface (src/durability/) --------------------
+  // The per-peer reliability state plus the transcript fold and counters;
+  // with these restored, replaying the logged arrival stream through
+  // OnMessage reproduces the exact delivered prefix and counter
+  // evolution of the original run.
+  struct State {
+    std::vector<PeerState> peers;
+    uint64_t transcript_hash = 0;
+    uint64_t delivered = 0;
+    uint64_t duplicates_dropped = 0;
+    uint64_t stale_epoch_dropped = 0;
+    uint64_t gaps_detected = 0;
+    uint64_t nacks_sent = 0;
+    uint64_t crash_detections = 0;
+    uint64_t resyncs_sent = 0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& s);
+
+ private:
   void SendAck(int site, const PeerState& peer);
   void FoldTranscript(int site, const sim::Payload& msg);
 

@@ -85,6 +85,14 @@ void AppendFaultReport(const faults::RunReport& report,
   out->Append(Join(prefix, "faults_dropped"), report.faults_dropped);
   out->Append(Join(prefix, "faults_duplicated"), report.faults_duplicated);
   out->Append(Join(prefix, "faults_delayed"), report.faults_delayed);
+  out->Append(Join(prefix, "process_kills"), report.process_kills);
+  out->Append(Join(prefix, "recoveries"), report.recoveries);
+  out->Append(Join(prefix, "wal_records_logged"), report.wal_records_logged);
+  out->Append(Join(prefix, "wal_records_replayed"),
+              report.wal_records_replayed);
+  out->Append(Join(prefix, "checkpoints_written"), report.checkpoints_written);
+  out->Append(Join(prefix, "recovery_consistent"),
+              static_cast<uint64_t>(report.recovery_consistent ? 1 : 0));
   out->Append(Join(prefix, "clean"),
               static_cast<uint64_t>(report.clean ? 1 : 0));
 }

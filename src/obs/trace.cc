@@ -70,6 +70,10 @@ const char* EventTypeName(EventType type) {
     case EventType::kSiteScheduled: return "site_scheduled";
     case EventType::kSteal: return "steal";
     case EventType::kWorkerPark: return "worker_park";
+    case EventType::kWalAppend: return "wal_append";
+    case EventType::kWalFsync: return "wal_fsync";
+    case EventType::kCheckpointWrite: return "checkpoint_write";
+    case EventType::kRecoveryReplay: return "recovery_replay";
   }
   return "unknown";
 }

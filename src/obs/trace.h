@@ -71,6 +71,10 @@ enum class EventType : uint16_t {
   kSiteScheduled = 21,     // scheduler dispatched a logical site (a=worker)
   kSteal = 22,             // worker stole a runnable site (a=thief worker)
   kWorkerPark = 23,        // pool worker parked, nothing runnable (a=worker)
+  kWalAppend = 24,         // durability: one record framed into the WAL
+  kWalFsync = 25,          // durability: group commit flushed (a=bytes)
+  kCheckpointWrite = 26,   // durability: checkpoint file written (a=seq)
+  kRecoveryReplay = 27,    // durability: WAL tail replayed (a=records)
 };
 
 const char* EventTypeName(EventType type);

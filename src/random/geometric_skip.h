@@ -91,6 +91,32 @@ class GeometricSkipFilter {
   uint64_t draws() const { return draws_; }
   uint64_t bits_consumed() const { return draws_ * 64; }
 
+  // Durable-checkpoint surface: the residual skip budget is part of a
+  // site's sampling state — restoring it (together with the RNG state)
+  // resumes the walk with bit-identical decisions (src/durability/).
+  struct State {
+    bool has_pending = false;
+    double pending = 0.0;
+    double value = 0.0;
+    uint64_t decisions = 0;
+    uint64_t accepts = 0;
+    uint64_t skips_taken = 0;
+    uint64_t draws = 0;
+  };
+  State SaveState() const {
+    return State{has_pending_, pending_, value_, decisions_,
+                 accepts_,     skips_taken_, draws_};
+  }
+  void RestoreState(const State& s) {
+    has_pending_ = s.has_pending;
+    pending_ = s.pending;
+    value_ = s.value;
+    decisions_ = s.decisions;
+    accepts_ = s.accepts;
+    skips_taken_ = s.skips_taken;
+    draws_ = s.draws;
+  }
+
  private:
   double Exp1(Rng& rng) {
     ++draws_;

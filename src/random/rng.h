@@ -39,6 +39,16 @@ class Rng {
   // own stream of randomness from one master seed.
   Rng Fork();
 
+  // Raw xoshiro256++ state words, for durable checkpoints: a generator
+  // restored from a saved state resumes the exact same stream, which is
+  // what makes crash recovery bit-identical (src/durability/).
+  void SaveState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void RestoreState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   uint64_t state_[4];
 };

@@ -2,6 +2,8 @@
 
 #include "gtest/gtest.h"
 #include "core/config.h"
+#include "durability/records.h"
+#include "durability/wal.h"
 #include "faults/session.h"
 #include "random/rng.h"
 #include "sim/codec.h"
@@ -192,6 +194,104 @@ TEST(CodecGoldenTest, SessionHello) {
   msg.seq = 1;
   msg.epoch = 1;
   ExpectGolden(msg, {0x1A, 0x00, 0x0C, 0x01, 0x01});
+}
+
+// --- WAL record golden vectors ----------------------------------------
+//
+// The durability WAL (src/durability/records.h) persists these to disk;
+// the byte layout is a compatibility surface exactly like the message
+// wire format above. One golden per record type, asserting encode AND
+// decode against pinned bytes.
+
+void ExpectWalGolden(const durability::WalRecord& record,
+                     const std::vector<uint8_t>& golden) {
+  EXPECT_EQ(durability::EncodeWalRecord(record), golden)
+      << durability::WalRecordTypeName(record.type);
+  const auto decoded = durability::DecodeWalRecord(golden);
+  ASSERT_TRUE(decoded.has_value())
+      << durability::WalRecordTypeName(record.type);
+  EXPECT_EQ(durability::EncodeWalRecord(*decoded), golden);
+}
+
+TEST(WalRecordGoldenTest, Message) {
+  // A kWsworRegular arrival wrapped in a WAL record: type, site varint,
+  // wire length varint, then the message codec's bytes verbatim.
+  durability::WalRecord record;
+  record.type = durability::WalRecordType::kMessage;
+  record.site = 2;
+  record.msg.type = kWsworRegular;
+  record.msg.a = 300;
+  record.msg.x = 2.5;
+  record.msg.y = 1.5;
+  ExpectWalGolden(record,
+                  {0x01, 0x02, 0x14,              // type, site, wire len
+                   0x02, 0xAC, 0x02, 0x03,        // inner: type, a, flags
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x40,
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F});
+}
+
+TEST(WalRecordGoldenTest, ThresholdBump) {
+  durability::WalRecord record;
+  record.type = durability::WalRecordType::kThresholdBump;
+  record.threshold = 8.0;
+  ExpectWalGolden(record, {0x02,
+                           0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x20, 0x40});
+}
+
+TEST(WalRecordGoldenTest, EpochChange) {
+  durability::WalRecord record;
+  record.type = durability::WalRecordType::kEpochChange;
+  record.epoch = 3;
+  ExpectWalGolden(record, {0x03, 0x06});  // zigzag(3) = 6
+  record.epoch = -1;
+  ExpectWalGolden(record, {0x03, 0x01});  // zigzag(-1) = 1
+}
+
+TEST(WalRecordGoldenTest, SampleDelta) {
+  durability::WalRecord record;
+  record.type = durability::WalRecordType::kSampleDelta;
+  record.added = KeyedItem{Item{7, 3.0}, 1.5};
+  record.evicted_valid = true;
+  record.evicted_id = 300;
+  ExpectWalGolden(record,
+                  {0x04, 0x07,  // type, added id
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x08, 0x40,  // weight
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,  // key
+                   0x01, 0xAC, 0x02});  // evicted flag + id varint
+  record.evicted_valid = false;
+  record.evicted_id = 0;
+  ExpectWalGolden(record,
+                  {0x04, 0x07,
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x08, 0x40,
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,
+                   0x00});  // no eviction: flag only
+}
+
+TEST(WalRecordGoldenTest, StepAndCheckpointMarks) {
+  durability::WalRecord record;
+  record.type = durability::WalRecordType::kStepMark;
+  record.step = 300;
+  ExpectWalGolden(record, {0x05, 0xAC, 0x02});
+  record.type = durability::WalRecordType::kCheckpointMark;
+  record.step = 5;
+  ExpectWalGolden(record, {0x06, 0x05});
+}
+
+TEST(WalRecordGoldenTest, WalFileFraming) {
+  // A whole one-record segment, byte for byte: "DWAL" magic, version 1,
+  // then frame = u32 payload length LE | u32 CRC32(payload) LE | payload
+  // for a kStepMark(1) record.
+  const std::vector<uint8_t> golden = {
+      'D', 'W', 'A', 'L', 0x01,       // header (kWalHeaderSize = 5)
+      0x02, 0x00, 0x00, 0x00,         // payload length
+      0x2C, 0xD6, 0xA9, 0x4B,         // CRC32({0x05, 0x01}) = 0x4BA9D62C
+      0x05, 0x01};                    // payload
+  const std::vector<uint8_t> payload = {0x05, 0x01};
+  EXPECT_EQ(durability::Crc32(payload.data(), payload.size()), 0x4BA9D62Cu);
+  EXPECT_EQ(golden[4], durability::kWalFormatVersion);
+  EXPECT_EQ(golden.size(),
+            durability::kWalHeaderSize + durability::kWalFrameOverhead +
+                payload.size());
 }
 
 TEST(CodecTest, UnstampedEncodingIsUnchangedByHeaderFields) {

@@ -1,0 +1,673 @@
+// Tests of the durability subsystem (src/durability/): the CRC-framed
+// WAL and its torn-tail semantics, the record and checkpoint codecs, and
+// — the headline guarantee — that a shard killed mid-ingestion (kill -9
+// semantics: every volatile byte gone) recovers from checkpoint + WAL
+// replay to a state transcript-identical to a never-crashed shard, on
+// both execution backends. The corruption fuzz at the end pins the
+// never-silently-wrong contract: seeded bit flips, truncations and
+// deletions over the durable files always yield either a correct
+// recovery or a flagged one, never an unflagged wrong sample.
+//
+// Run under -fsanitize=thread in CI (the engine-backed runs exercise the
+// WAL append path from the coordinator worker thread).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "durability/checkpoint.h"
+#include "durability/durable_shard.h"
+#include "durability/records.h"
+#include "durability/wal.h"
+#include "faults/fault_schedule.h"
+#include "faults/harness.h"
+#include "random/rng.h"
+#include "stream/generators.h"
+#include "stream/partitioners.h"
+#include "stream/workload.h"
+
+namespace dwrs {
+namespace {
+
+using durability::Crc32;
+using durability::DecodeCheckpoint;
+using durability::DecodeWalRecord;
+using durability::DurabilityOptions;
+using durability::DurableWswor;
+using durability::EncodeCheckpoint;
+using durability::EncodeWalRecord;
+using durability::LoadLatestCheckpoint;
+using durability::ProbeState;
+using durability::ReadWalFile;
+using durability::ShardCheckpoint;
+using durability::ShardedDurableWswor;
+using durability::WalReadResult;
+using durability::WalRecord;
+using durability::WalRecordType;
+using durability::WalWriter;
+using durability::WalWriterOptions;
+using faults::Backend;
+using faults::FaultConfig;
+using faults::RunReport;
+
+// Recursive rm -rf for the small test directories.
+void RemoveAll(const std::string& dir) {
+  const std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+}
+
+std::string TempDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "dwrs_durability_" + tag;
+  RemoveAll(dir);  // stale state from an earlier run must not leak in
+  return dir;
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------
+// WAL framing.
+
+TEST(Crc32Test, MatchesTheClassicCheckVector) {
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(s), 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(WalTest, RoundtripsFramesThroughCommitAndReopen) {
+  const std::string dir = TempDir("wal_roundtrip");
+  ASSERT_TRUE(durability::EnsureDir(dir));
+  const std::string path = dir + "/wal-0.log";
+  std::vector<std::vector<uint8_t>> payloads = {
+      {1, 2, 3}, {}, std::vector<uint8_t>(1000, 0xAB), {0xFF}};
+  {
+    WalWriter writer(path, WalWriterOptions{});
+    ASSERT_TRUE(writer.ok()) << writer.error();
+    for (const auto& p : payloads) writer.Append(p);
+    EXPECT_GT(writer.pending_bytes(), 0u);
+    ASSERT_TRUE(writer.Commit());
+    EXPECT_EQ(writer.pending_bytes(), 0u);
+    ASSERT_TRUE(writer.Close());
+    EXPECT_EQ(writer.stats().appends, payloads.size());
+    EXPECT_GE(writer.stats().fsyncs, 1u);  // Close always syncs
+  }
+  const WalReadResult r = ReadWalFile(path);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.truncated_tail);
+  EXPECT_EQ(r.payloads, payloads);
+  // Append-reopen continues the segment.
+  {
+    WalWriter writer(path, WalWriterOptions{}, /*truncate=*/false);
+    ASSERT_TRUE(writer.ok()) << writer.error();
+    writer.Append({9, 9});
+    ASSERT_TRUE(writer.Close());
+  }
+  const WalReadResult r2 = ReadWalFile(path);
+  ASSERT_TRUE(r2.ok);
+  ASSERT_EQ(r2.payloads.size(), payloads.size() + 1);
+  EXPECT_EQ(r2.payloads.back(), (std::vector<uint8_t>{9, 9}));
+  RemoveAll(dir);
+}
+
+TEST(WalTest, AbandonPendingDropsUncommittedBytes) {
+  const std::string dir = TempDir("wal_abandon");
+  ASSERT_TRUE(durability::EnsureDir(dir));
+  const std::string path = dir + "/wal-0.log";
+  WalWriter writer(path, WalWriterOptions{});
+  ASSERT_TRUE(writer.ok());
+  writer.Append({1});
+  ASSERT_TRUE(writer.Commit());
+  writer.Append({2});  // never committed: dies with the "process"
+  writer.AbandonPending();
+  ASSERT_TRUE(writer.Close());
+  const WalReadResult r = ReadWalFile(path);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.payloads.size(), 1u);
+  EXPECT_EQ(r.payloads[0], (std::vector<uint8_t>{1}));
+  RemoveAll(dir);
+}
+
+TEST(WalTest, RejectsUnsupportedFormatVersion) {
+  const std::string dir = TempDir("wal_version");
+  ASSERT_TRUE(durability::EnsureDir(dir));
+  const std::string path = dir + "/wal-0.log";
+  {
+    WalWriter writer(path, WalWriterOptions{});
+    ASSERT_TRUE(writer.ok());
+    writer.Append({1, 2});
+    ASSERT_TRUE(writer.Close());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  ASSERT_GE(bytes.size(), durability::kWalHeaderSize);
+  bytes[4] = durability::kWalFormatVersion + 1;  // future version byte
+  WriteAll(path, bytes);
+  const WalReadResult r = ReadWalFile(path);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("version"), std::string::npos) << r.error;
+  RemoveAll(dir);
+}
+
+TEST(WalTest, TruncatesAtFirstBadFrameAndNeverResynchronizes) {
+  const std::string dir = TempDir("wal_torn");
+  ASSERT_TRUE(durability::EnsureDir(dir));
+  const std::string path = dir + "/wal-0.log";
+  {
+    WalWriter writer(path, WalWriterOptions{});
+    ASSERT_TRUE(writer.ok());
+    for (uint8_t i = 0; i < 4; ++i) writer.Append({i, i, i});
+    ASSERT_TRUE(writer.Close());
+  }
+  const std::vector<uint8_t> clean = ReadAll(path);
+  const uint64_t frame = 3 + durability::kWalFrameOverhead;
+
+  // Torn tail: the last frame is half-written.
+  std::vector<uint8_t> torn(clean.begin(), clean.end() - 4);
+  WriteAll(path, torn);
+  WalReadResult r = ReadWalFile(path);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.payloads.size(), 3u);
+  EXPECT_TRUE(r.truncated_tail);
+  EXPECT_EQ(r.valid_bytes, durability::kWalHeaderSize + 3 * frame);
+
+  // Corrupt an EARLY frame's payload: everything from it on is dropped,
+  // including the still-CRC-valid frames behind it — a valid-looking
+  // record past garbage cannot be trusted.
+  std::vector<uint8_t> flipped = clean;
+  flipped[durability::kWalHeaderSize + frame + durability::kWalFrameOverhead] ^=
+      0x01;
+  WriteAll(path, flipped);
+  r = ReadWalFile(path);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.payloads.size(), 1u);
+  EXPECT_TRUE(r.truncated_tail);
+
+  // Trailing garbage after a clean log.
+  std::vector<uint8_t> garbage = clean;
+  for (int i = 0; i < 5; ++i) garbage.push_back(0xEE);
+  WriteAll(path, garbage);
+  r = ReadWalFile(path);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.payloads.size(), 4u);
+  EXPECT_TRUE(r.truncated_tail);
+  RemoveAll(dir);
+}
+
+// ---------------------------------------------------------------------
+// Record codec.
+
+TEST(WalRecordTest, RoundtripsEveryRecordType) {
+  std::vector<WalRecord> records;
+  WalRecord m;
+  m.type = WalRecordType::kMessage;
+  m.site = 3;
+  m.msg.type = kWsworRegular;
+  m.msg.a = 42;
+  m.msg.x = 7.5;
+  m.msg.y = 0.125;
+  m.msg.seq = 17;
+  m.msg.epoch = 2;
+  records.push_back(m);
+  WalRecord t;
+  t.type = WalRecordType::kThresholdBump;
+  t.threshold = 123.456;
+  records.push_back(t);
+  WalRecord e;
+  e.type = WalRecordType::kEpochChange;
+  e.epoch = -1;
+  records.push_back(e);
+  WalRecord d;
+  d.type = WalRecordType::kSampleDelta;
+  d.added = KeyedItem{Item{99, 4.0}, 17.25};
+  d.evicted_valid = true;
+  d.evicted_id = 7;
+  records.push_back(d);
+  WalRecord d2 = d;
+  d2.evicted_valid = false;
+  d2.evicted_id = 0;
+  records.push_back(d2);
+  WalRecord s;
+  s.type = WalRecordType::kStepMark;
+  s.step = 1234567;
+  records.push_back(s);
+  WalRecord c;
+  c.type = WalRecordType::kCheckpointMark;
+  c.step = 3;
+  records.push_back(c);
+
+  for (const WalRecord& record : records) {
+    const std::vector<uint8_t> bytes = EncodeWalRecord(record);
+    const auto back = DecodeWalRecord(bytes);
+    ASSERT_TRUE(back.has_value())
+        << durability::WalRecordTypeName(record.type);
+    EXPECT_EQ(back->type, record.type);
+    EXPECT_EQ(back->site, record.site);
+    EXPECT_EQ(back->msg.type, record.msg.type);
+    EXPECT_EQ(back->msg.a, record.msg.a);
+    EXPECT_EQ(back->msg.x, record.msg.x);
+    EXPECT_EQ(back->msg.seq, record.msg.seq);
+    EXPECT_EQ(back->threshold, record.threshold);
+    EXPECT_EQ(back->epoch, record.epoch);
+    EXPECT_EQ(back->added.item.id, record.added.item.id);
+    EXPECT_EQ(back->added.key, record.added.key);
+    EXPECT_EQ(back->evicted_valid, record.evicted_valid);
+    EXPECT_EQ(back->evicted_id, record.evicted_id);
+    EXPECT_EQ(back->step, record.step);
+    // Trailing byte rejected (no silent over-read).
+    std::vector<uint8_t> extra = bytes;
+    extra.push_back(0);
+    EXPECT_FALSE(DecodeWalRecord(extra).has_value());
+    // Truncations rejected.
+    for (size_t n = 0; n < bytes.size(); ++n) {
+      const std::vector<uint8_t> cut(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(n));
+      EXPECT_FALSE(DecodeWalRecord(cut).has_value());
+    }
+  }
+  EXPECT_FALSE(DecodeWalRecord({0x77}).has_value());  // unknown type
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint codec + atomic write / fallback lifecycle.
+
+ShardCheckpoint SampleCheckpoint() {
+  ShardCheckpoint c;
+  c.checkpoint_seq = 5;
+  c.step = 321;
+  c.wal_records_logged = 777;
+  c.snapshot.publish_seq = 5;
+  c.snapshot.state_version = 40;
+  c.snapshot.steps = 321;
+  c.snapshot.session_epoch = 1;
+  c.snapshot.stale = false;
+  c.snapshot.sample.kind = SampleKind::kTopKey;
+  c.snapshot.sample.target_size = 4;
+  c.snapshot.sample.state_version = 40;
+  c.snapshot.sample.entries = {KeyedItem{Item{1, 2.0}, 9.5},
+                               KeyedItem{Item{2, 1.0}, 3.25}};
+  c.snapshot.threshold = 3.25;
+  c.coordinator.rng[0] = 11;
+  c.coordinator.rng[3] = 44;
+  c.coordinator.announced_epoch = 2;
+  c.coordinator.early_received = 10;
+  c.coordinator.regular_received = 20;
+  c.coordinator.state_version = 40;
+  c.coordinator.summary = c.snapshot.sample;
+  c.coordinator.saturated_levels = {0, 3};
+  c.session.peers = {{1, 7, 7, 0}, {0, 3, 5, 3}};
+  c.session.transcript_hash = 0xDEADBEEFull;
+  c.session.delivered = 9;
+  c.site_valid = {1, 0};
+  c.site_sessions.resize(2);
+  c.site_sessions[0].epoch = 1;
+  c.site_sessions[0].next_seq = 8;
+  sim::Payload unacked;
+  unacked.type = kWsworRegular;
+  unacked.a = 5;
+  unacked.x = 2.0;
+  unacked.seq = 7;
+  unacked.epoch = 1;
+  c.site_sessions[0].unacked = {unacked};
+  c.site_sessions[1].down = true;
+  c.site_sessions[1].down_remaining = 3;
+  c.sites.resize(1);
+  c.sites[0].rng[1] = 99;
+  c.sites[0].filter.has_pending = true;
+  c.sites[0].filter.pending = 0.75;
+  c.sites[0].threshold = 3.25;
+  c.sites[0].saturated = {1, 0, 1};
+  c.transport.channels.resize(4);
+  c.transport.channels[2].next_index = 6;
+  c.transport.channels[2].held = {{9, unacked}};
+  c.transport.forwarded = 100;
+  c.transport.dropped = 3;
+  c.kills_done = 1;
+  c.last_kill_step = 200;
+  return c;
+}
+
+TEST(CheckpointTest, EncodeDecodeIsBitExact) {
+  const ShardCheckpoint c = SampleCheckpoint();
+  const std::vector<uint8_t> bytes = EncodeCheckpoint(c);
+  const auto back = DecodeCheckpoint(bytes);
+  ASSERT_TRUE(back.has_value());
+  // Bit-exactness via re-encode: the codec is canonical (no optional
+  // representations), so equal bytes iff equal state.
+  EXPECT_EQ(EncodeCheckpoint(*back), bytes);
+  EXPECT_EQ(back->checkpoint_seq, c.checkpoint_seq);
+  EXPECT_EQ(back->step, c.step);
+  EXPECT_EQ(back->snapshot.sample.entries.size(), 2u);
+  EXPECT_EQ(back->snapshot.sample.entries[0].key, 9.5);
+  EXPECT_EQ(back->session.peers.size(), 2u);
+  EXPECT_EQ(back->site_sessions[0].unacked.size(), 1u);
+  EXPECT_EQ(back->transport.channels[2].held.size(), 1u);
+  EXPECT_EQ(back->kills_done, 1u);
+  // Any single truncation fails loudly.
+  for (size_t n : {size_t{0}, size_t{4}, bytes.size() / 2, bytes.size() - 1}) {
+    const std::vector<uint8_t> cut(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(n));
+    EXPECT_FALSE(DecodeCheckpoint(cut).has_value()) << n;
+  }
+}
+
+TEST(CheckpointTest, LoadFallsBackWhenNewestGenerationIsCorrupt) {
+  const std::string dir = TempDir("ckpt_fallback");
+  ASSERT_TRUE(durability::EnsureDir(dir));
+  ShardCheckpoint older = SampleCheckpoint();
+  older.checkpoint_seq = 6;
+  ShardCheckpoint newer = SampleCheckpoint();
+  newer.checkpoint_seq = 7;
+  newer.step = 400;
+  std::string error;
+  ASSERT_TRUE(durability::WriteCheckpointFile(dir, older, &error)) << error;
+  ASSERT_TRUE(durability::WriteCheckpointFile(dir, newer, &error)) << error;
+  auto loaded = LoadLatestCheckpoint(dir);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->checkpoint_seq, 7u);
+
+  // Corrupt the newest: one body bit flip breaks the CRC.
+  const std::string newest = durability::CheckpointPath(dir, 7);
+  std::vector<uint8_t> bytes = ReadAll(newest);
+  bytes[bytes.size() / 2] ^= 0x10;
+  WriteAll(newest, bytes);
+  loaded = LoadLatestCheckpoint(dir);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->checkpoint_seq, 6u);
+  EXPECT_EQ(loaded->step, 321u);
+  RemoveAll(dir);
+}
+
+// ---------------------------------------------------------------------
+// The recovery guarantee.
+
+Workload DurabilityWorkload(int k, uint64_t n, uint64_t seed) {
+  return WorkloadBuilder()
+      .num_sites(k)
+      .num_items(n)
+      .seed(seed)
+      .weights(std::make_unique<UniformWeights>(1.0, 32.0))
+      .partitioner(std::make_unique<RandomPartitioner>())
+      .Build();
+}
+
+DurabilityOptions Opts(const std::string& dir) {
+  DurabilityOptions options;
+  options.dir = dir;
+  options.commit_interval_steps = 4;
+  options.checkpoint_interval_steps = 32;
+  return options;
+}
+
+// A durable run with kills disabled is bit-identical to the plain fault
+// harness: the WAL/checkpoint machinery must be an observer, never a
+// participant.
+TEST(DurableShardTest, NoKillRunMatchesFaultyRunBitForBit) {
+  const WsworConfig config{.num_sites = 3, .sample_size = 6, .seed = 21};
+  const Workload w = DurabilityWorkload(3, 200, /*seed=*/5);
+  FaultConfig faults;
+  faults.seed = 77;
+  faults.drop_prob = 0.05;
+  faults.delay_prob = 0.1;
+  faults.max_delay = 2;
+  for (Backend backend : {Backend::kSim, Backend::kEngine}) {
+    faults::FaultyWswor reference(config, faults, backend);
+    reference.Run(w);
+    const std::string dir = TempDir(backend == Backend::kSim ? "nokill_sim"
+                                                             : "nokill_eng");
+    {
+      DurableWswor durable(config, faults, backend, Opts(dir));
+      durable.Run(w);
+      const RunReport r = durable.report();
+      const RunReport ref = reference.report();
+      EXPECT_EQ(r.transcript_hash, ref.transcript_hash);
+      EXPECT_EQ(r.delivered, ref.delivered);
+      EXPECT_EQ(durable.SampleIds(), reference.SampleIds());
+      EXPECT_EQ(r.process_kills, 0u);
+      EXPECT_EQ(r.recoveries, 0u);
+      EXPECT_GT(r.wal_records_logged, 0u);
+      EXPECT_GT(r.checkpoints_written, 0u);
+      EXPECT_TRUE(r.recovery_consistent);
+    }
+    RemoveAll(dir);
+  }
+}
+
+// Kill-only schedules: the recovered run's final state is bit-identical
+// to an uninterrupted run's, for every seed, on both backends.
+TEST(DurableShardTest, KillAndRecoverIsTranscriptIdenticalAcrossSeeds) {
+  const WsworConfig config{.num_sites = 3, .sample_size = 6, .seed = 33};
+  const Workload w = DurabilityWorkload(3, 260, /*seed=*/9);
+  for (uint64_t fault_seed = 1; fault_seed <= 10; ++fault_seed) {
+    FaultConfig kills;
+    kills.seed = fault_seed;
+    kills.process_kill_prob = 0.02;
+    kills.max_process_kills = 2;
+    FaultConfig none;
+    none.seed = fault_seed;
+    for (Backend backend : {Backend::kSim, Backend::kEngine}) {
+      faults::FaultyWswor reference(config, none, backend);
+      reference.Run(w);
+      const std::string dir =
+          TempDir("kill_" + std::to_string(fault_seed) +
+                  (backend == Backend::kSim ? "_sim" : "_eng"));
+      {
+        DurableWswor durable(config, kills, backend, Opts(dir));
+        durable.Run(w);
+        const RunReport r = durable.report();
+        const RunReport ref = reference.report();
+        EXPECT_EQ(r.transcript_hash, ref.transcript_hash)
+            << "fault seed " << fault_seed;
+        EXPECT_EQ(r.delivered, ref.delivered) << "fault seed " << fault_seed;
+        EXPECT_EQ(durable.SampleIds(), reference.SampleIds())
+            << "fault seed " << fault_seed;
+        EXPECT_TRUE(r.recovery_consistent) << "fault seed " << fault_seed;
+        EXPECT_EQ(r.process_kills, r.recoveries);
+        if (r.process_kills > 0) {
+          EXPECT_GT(r.wal_records_replayed, 0u)
+              << "fault seed " << fault_seed;
+          EXPECT_LE(durable.last_recovery().checkpoint_step,
+                    durable.last_recovery().durable_step);
+        }
+        EXPECT_TRUE(r.clean);
+      }
+      RemoveAll(dir);
+    }
+  }
+}
+
+// Cold resume from disk in a fresh harness object (the CLI's --resume
+// path): tear the harness down mid-stream at an arbitrary point, rebuild
+// from the directory alone, finish, and match the uninterrupted run.
+TEST(DurableShardTest, ColdResumeFromDiskFinishesIdentically) {
+  const WsworConfig config{.num_sites = 4, .sample_size = 8, .seed = 55};
+  const Workload w = DurabilityWorkload(4, 240, /*seed=*/11);
+  FaultConfig none;
+  none.seed = 3;
+  faults::FaultyWswor reference(config, none, Backend::kSim);
+  reference.Run(w);
+
+  const std::string dir = TempDir("cold_resume");
+  {
+    // First incarnation: feed a prefix, commit/checkpoint on the
+    // harness cadence, then die abruptly (uncommitted bytes dropped by
+    // the destructor-with-abandon path below).
+    DurableWswor first(config, none, Backend::kSim, Opts(dir));
+    Workload prefix(w.num_sites(),
+                    std::vector<WorkloadEvent>(w.events().begin(),
+                                               w.events().begin() + 150));
+    first.Run(prefix);
+  }
+  {
+    DurableWswor resumed(config, none, Backend::kSim, Opts(dir));
+    EXPECT_EQ(resumed.resume_step(), 150u);
+    EXPECT_GE(resumed.recoveries(), 1u);
+    resumed.Run(w);
+    EXPECT_EQ(resumed.SampleIds(), reference.SampleIds());
+    EXPECT_EQ(resumed.report().transcript_hash,
+              reference.report().transcript_hash);
+    EXPECT_TRUE(resumed.report().recovery_consistent);
+  }
+  RemoveAll(dir);
+}
+
+// Sharded composition: kills in one shard never perturb another, and
+// the merged sample matches the non-durable sharded harness's.
+TEST(DurableShardTest, ShardedKillsMatchShardedFaultyMerge) {
+  const WsworConfig config{.num_sites = 6, .sample_size = 6, .seed = 70};
+  const Workload w = DurabilityWorkload(6, 300, /*seed=*/13);
+  std::vector<FaultConfig> durable_faults(2);
+  durable_faults[0].seed = 5;
+  durable_faults[0].process_kill_prob = 0.03;  // shard 0 gets killed
+  durable_faults[1].seed = 6;
+  std::vector<FaultConfig> plain_faults(2);
+  plain_faults[0].seed = 5;
+  plain_faults[1].seed = 6;
+  faults::ShardedFaultyWswor reference(config, plain_faults, Backend::kSim);
+  reference.Run(w);
+  const std::string dir = TempDir("sharded");
+  {
+    ShardedDurableWswor durable(config, durable_faults, Backend::kSim,
+                                Opts(dir));
+    durable.Run(w);
+    EXPECT_EQ(durable.MergedSampleIds(), reference.MergedSampleIds());
+    EXPECT_EQ(durable.report().transcript_hash,
+              reference.report().transcript_hash);
+    EXPECT_GE(durable.shard(0).process_kills(), 0u);
+    EXPECT_EQ(durable.shard(1).process_kills(), 0u);
+    EXPECT_TRUE(durable.report().recovery_consistent);
+  }
+  RemoveAll(dir);
+}
+
+// Kills layered over active message faults: the sim and engine backends
+// must still agree bit for bit on the killed-and-recovered run, and the
+// run must never be silently wrong (consistent flag + clean accounting).
+TEST(DurableShardTest, KillsUnderMessageFaultsAgreeAcrossBackends) {
+  const WsworConfig config{.num_sites = 3, .sample_size = 6, .seed = 41};
+  const Workload w = DurabilityWorkload(3, 220, /*seed=*/15);
+  for (uint64_t fault_seed = 1; fault_seed <= 5; ++fault_seed) {
+    FaultConfig faults;
+    faults.seed = fault_seed;
+    faults.drop_prob = 0.05;
+    faults.duplicate_prob = 0.05;
+    faults.delay_prob = 0.05;
+    faults.max_delay = 2;
+    faults.process_kill_prob = 0.02;
+    faults.max_process_kills = 2;
+    std::vector<ProbeState> probes;
+    std::vector<RunReport> reports;
+    for (Backend backend : {Backend::kSim, Backend::kEngine}) {
+      const std::string dir =
+          TempDir("mixed_" + std::to_string(fault_seed) +
+                  (backend == Backend::kSim ? "_sim" : "_eng"));
+      DurableWswor durable(config, faults, backend, Opts(dir));
+      durable.Run(w);
+      probes.push_back(durable.Probe());
+      reports.push_back(durable.report());
+      RemoveAll(dir);
+    }
+    EXPECT_EQ(probes[0], probes[1]) << "fault seed " << fault_seed;
+    EXPECT_EQ(reports[0].transcript_hash, reports[1].transcript_hash)
+        << "fault seed " << fault_seed;
+    EXPECT_EQ(reports[0].process_kills, reports[1].process_kills);
+    EXPECT_TRUE(reports[0].recovery_consistent) << "seed " << fault_seed;
+    EXPECT_TRUE(reports[1].recovery_consistent) << "seed " << fault_seed;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Corruption fuzz: never silently wrong.
+
+TEST(DurabilityFuzzTest, CorruptedDurableStateRecoversCorrectlyOrFlagged) {
+  const WsworConfig config{.num_sites = 3, .sample_size = 6, .seed = 91};
+  const Workload w = DurabilityWorkload(3, 160, /*seed=*/17);
+  FaultConfig none;
+  none.seed = 1;
+  faults::FaultyWswor reference(config, none, Backend::kSim);
+  reference.Run(w);
+  const std::vector<uint64_t> expected = reference.SampleIds();
+
+  for (uint64_t fuzz_seed = 1; fuzz_seed <= 30; ++fuzz_seed) {
+    const std::string dir = TempDir("fuzz_" + std::to_string(fuzz_seed));
+    {
+      // Interrupted run: a durable prefix is on disk, uncommitted tail
+      // records and the partial step are lost with the teardown.
+      DurableWswor first(config, none, Backend::kSim, Opts(dir));
+      Workload prefix(w.num_sites(),
+                      std::vector<WorkloadEvent>(
+                          w.events().begin(),
+                          w.events().begin() + 90 +
+                              static_cast<long>(fuzz_seed % 23)));
+      first.Run(prefix);
+    }
+    // Seeded corruption over the durable files: bit flip, truncation,
+    // or deletion.
+    Rng rng(fuzz_seed * 7919);
+    std::vector<std::string> files;
+    for (uint64_t seq = 0; seq < 32; ++seq) {
+      for (const std::string& path :
+           {durability::WalSegmentPath(dir, seq),
+            durability::CheckpointPath(dir, seq)}) {
+        if (!ReadAll(path).empty()) files.push_back(path);
+      }
+    }
+    ASSERT_FALSE(files.empty());
+    const int mutations = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int m = 0; m < mutations; ++m) {
+      const std::string& victim =
+          files[rng.NextBounded(static_cast<uint64_t>(files.size()))];
+      std::vector<uint8_t> bytes = ReadAll(victim);
+      if (bytes.empty()) continue;
+      switch (rng.NextBounded(3)) {
+        case 0: {  // bit flip
+          const uint64_t at = rng.NextBounded(bytes.size());
+          bytes[at] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));
+          WriteAll(victim, bytes);
+          break;
+        }
+        case 1: {  // truncation (torn write)
+          bytes.resize(rng.NextBounded(bytes.size()));
+          WriteAll(victim, bytes);
+          break;
+        }
+        default:  // deletion
+          std::remove(victim.c_str());
+          break;
+      }
+    }
+    // Recover from whatever survived and finish the stream. The
+    // contract: either the final sample matches the uninterrupted
+    // reference, or the run is FLAGGED (inconsistent replay cross-check
+    // or un-clean report) — never an unflagged wrong answer.
+    {
+      DurableWswor resumed(config, none, Backend::kSim, Opts(dir));
+      resumed.Run(w);
+      const RunReport r = resumed.report();
+      if (r.recovery_consistent && r.clean) {
+        EXPECT_EQ(resumed.SampleIds(), expected)
+            << "silently wrong sample, fuzz seed " << fuzz_seed;
+        EXPECT_EQ(r.transcript_hash, reference.report().transcript_hash)
+            << "silently wrong transcript, fuzz seed " << fuzz_seed;
+      }
+    }
+    RemoveAll(dir);
+  }
+}
+
+}  // namespace
+}  // namespace dwrs

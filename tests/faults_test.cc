@@ -12,12 +12,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "durability/durable_shard.h"
 #include "faults/fault_schedule.h"
 #include "faults/faulty_transport.h"
 #include "faults/harness.h"
@@ -713,6 +716,94 @@ TEST(FaultRecoveryTest, CrashWithLossIsAlwaysDetectedNeverSilent) {
   }
   EXPECT_GT(crashy_runs, 5);
   EXPECT_GT(clean_runs, 0);
+}
+
+// ---------------------------------------------------------------------
+// Process kills alongside the softer fault kinds: a 50-seed sweep in
+// which shards are killed outright (recover-from-disk, durability/)
+// next to sites crashing (resync-from-live-peers, this subsystem). The
+// killed-and-recovered run must replay bit-identically on both
+// execution backends for every seed, stay flagged-consistent, and — on
+// the kill-only schedules — match the never-killed reference exactly.
+
+FaultConfig KillSweepFaults(uint64_t fault_seed) {
+  FaultConfig config;
+  config.seed = fault_seed;
+  config.process_kill_prob = 0.03;
+  config.max_process_kills = 2;
+  // Every third schedule also crashes sites, so kill→recover-from-disk
+  // and crash→resync exercise the same run; the rest stay kill-only so
+  // the sweep also pins exact equality with an uninterrupted run.
+  config.crash_prob = (fault_seed % 3 == 0) ? 0.01 : 0.0;
+  config.crash_down_items = 5;
+  return config;
+}
+
+TEST(FaultSweepTest, KillAndRecoverReplaysBitIdenticallyAcross50Seeds) {
+  const Workload w = SweepWorkload(3, 300, /*seed=*/23);
+  const WsworConfig config{.num_sites = 3, .sample_size = 8, .seed = 77};
+  const std::string root =
+      ::testing::TempDir() + "dwrs_faults_kill_sweep";
+  [[maybe_unused]] const int rc =
+      std::system(("rm -rf '" + root + "'").c_str());
+  ASSERT_TRUE(durability::EnsureDir(root));  // EnsureDir is single-level
+  uint64_t killed_runs = 0;
+  for (uint64_t fault_seed = 0; fault_seed < 50; ++fault_seed) {
+    const FaultConfig fc = KillSweepFaults(fault_seed);
+    durability::DurabilityOptions options;
+    options.commit_interval_steps = 4;
+    options.checkpoint_interval_steps = 32;
+
+    options.dir = root + "/s" + std::to_string(fault_seed) + "-sim";
+    durability::DurableWswor sim_run(config, fc, Backend::kSim, options);
+    sim_run.Run(w);
+    options.dir = root + "/s" + std::to_string(fault_seed) + "-eng";
+    durability::DurableWswor eng_run(config, fc, Backend::kEngine, options);
+    eng_run.Run(w);
+
+    // Cross-backend bit identity of the killed-and-recovered runs.
+    EXPECT_EQ(sim_run.Probe(), eng_run.Probe())
+        << "fault seed " << fault_seed;
+    const RunReport sim_report = sim_run.report();
+    const RunReport eng_report = eng_run.report();
+    EXPECT_EQ(sim_report.transcript_hash, eng_report.transcript_hash)
+        << "fault seed " << fault_seed;
+    EXPECT_EQ(sim_report.process_kills, eng_report.process_kills)
+        << "fault seed " << fault_seed;
+    EXPECT_EQ(sim_report.crashes, eng_report.crashes)
+        << "fault seed " << fault_seed;
+
+    // Recovery is never silently wrong: the replay cross-check holds on
+    // every seed, and kill bookkeeping is coherent.
+    EXPECT_TRUE(sim_report.recovery_consistent) << "seed " << fault_seed;
+    EXPECT_TRUE(eng_report.recovery_consistent) << "seed " << fault_seed;
+    // A kill that lands before anything is durable re-runs from genesis
+    // rather than recovering, so recoveries can trail kills — but never
+    // exceed them, and both backends must agree.
+    EXPECT_LE(sim_report.recoveries, sim_report.process_kills);
+    EXPECT_EQ(sim_report.recoveries, eng_report.recoveries)
+        << "fault seed " << fault_seed;
+    killed_runs += sim_report.process_kills > 0 ? 1 : 0;
+
+    if (fc.crash_prob == 0.0) {
+      // Kill-only: recover-from-disk must be invisible in the final
+      // state — identical to a run that was never killed.
+      FaultConfig none;
+      none.seed = fault_seed;
+      FaultyWswor reference(config, none, Backend::kSim);
+      reference.Run(w);
+      EXPECT_EQ(sim_run.SampleIds(), reference.SampleIds())
+          << "fault seed " << fault_seed;
+      EXPECT_EQ(sim_report.transcript_hash,
+                reference.report().transcript_hash)
+          << "fault seed " << fault_seed;
+      EXPECT_TRUE(sim_report.clean) << "fault seed " << fault_seed;
+    }
+  }
+  // The sweep must actually exercise the kill path, not skate past it.
+  EXPECT_GT(killed_runs, 25u);
+  [[maybe_unused]] const int rc2 =
+      std::system(("rm -rf '" + root + "'").c_str());
 }
 
 TEST(FaultRecoveryTest, RestartedSiteIsResynced) {

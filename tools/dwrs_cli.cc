@@ -4,7 +4,7 @@
 // scripted without writing C++.
 //
 // Usage:
-//   dwrs_cli [stats|trace] [flags]
+//   dwrs_cli [stats|trace|recover|wal-dump] [flags]
 //
 // Default (no subcommand): run one sampler/tracker and print totals.
 //   dwrs_cli [--algo=wswor|naive|uswor|wswr|residual_hh|l1|det_l1|sqrtk_l1]
@@ -26,7 +26,23 @@
 //   [--shards=4] [--drop=0.05] [--dup=0.05] [--delay=0] [--crash=0.002]
 //   [--fault-seed=7] [--backend=engine|sim] [--out=trace.json]
 //   [--deterministic]  (zero timestamps: same seed => same event stream)
+//
+// `recover`: durable sharded wswor ingest against an on-disk state
+// directory (WAL + checkpoints, src/durability/). Three roles, so a
+// kill-and-recover round trip can be scripted (CI's recovery-soak job):
+//   dwrs_cli recover --dir=state --kill-at-step=40   # dies with SIGKILL
+//   dwrs_cli recover --dir=state --resume            # recovers, finishes
+//   dwrs_cli recover --reference                     # uninterrupted run
+// All three print a JSON snapshot whose `sample_hash` must agree between
+// the resumed run and the reference. Extra flags:
+//   [--dir=dwrs_state] [--shards=2] [--kill-at-step=0] [--resume]
+//   [--reference] [--kill-prob=0] [--commit-interval=4]
+//   [--checkpoint-interval=32] [--fault-seed=7] [--backend=engine|sim]
+//
+// `wal-dump`: decode one WAL segment and print a JSON line per record
+// (plus a summary on stderr). Flags: --file=<wal-N.log>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +52,7 @@
 #include <vector>
 
 #include "dwrs.h"
+#include "durability/durable_shard.h"
 #include "faults/harness.h"
 #include "obs/metrics.h"
 #include "obs/schema.h"
@@ -69,6 +86,16 @@ struct Options {
   std::string backend = "engine";
   std::string out = "trace.json";
   bool deterministic = false;
+  // recover-mode durable state + kill driving.
+  std::string dir = "dwrs_state";
+  uint64_t kill_at_step = 0;
+  bool resume = false;
+  bool reference = false;
+  double kill_prob = 0.0;
+  uint64_t commit_interval = 4;
+  uint64_t checkpoint_interval = 32;
+  // wal-dump input.
+  std::string file;
 };
 
 bool ConsumeFlag(const char* arg, const char* name, std::string* value) {
@@ -84,8 +111,10 @@ Options Parse(int argc, char** argv) {
   int first_flag = 1;
   if (argc > 1 && argv[1][0] != '-') {
     opt.mode = argv[1];
-    if (opt.mode != "stats" && opt.mode != "trace") {
-      std::fprintf(stderr, "unknown subcommand: %s (stats|trace)\n",
+    if (opt.mode != "stats" && opt.mode != "trace" && opt.mode != "recover" &&
+        opt.mode != "wal-dump") {
+      std::fprintf(stderr,
+                   "unknown subcommand: %s (stats|trace|recover|wal-dump)\n",
                    argv[1]);
       std::exit(2);
     }
@@ -133,6 +162,22 @@ Options Parse(int argc, char** argv) {
       opt.out = v;
     } else if (std::strcmp(argv[i], "--deterministic") == 0) {
       opt.deterministic = true;
+    } else if (ConsumeFlag(argv[i], "--dir", &v)) {
+      opt.dir = v;
+    } else if (ConsumeFlag(argv[i], "--kill-at-step", &v)) {
+      opt.kill_at_step = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      opt.resume = true;
+    } else if (std::strcmp(argv[i], "--reference") == 0) {
+      opt.reference = true;
+    } else if (ConsumeFlag(argv[i], "--kill-prob", &v)) {
+      opt.kill_prob = std::atof(v.c_str());
+    } else if (ConsumeFlag(argv[i], "--commit-interval", &v)) {
+      opt.commit_interval = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ConsumeFlag(argv[i], "--checkpoint-interval", &v)) {
+      opt.checkpoint_interval = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ConsumeFlag(argv[i], "--file", &v)) {
+      opt.file = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -359,12 +404,185 @@ int RunTraceMode(const Options& opt, const Workload& w) {
   return 0;
 }
 
+// Order-sensitive FNV-1a over the merged sample ids — the one number
+// the recovery-soak script compares between the resumed run and the
+// uninterrupted reference.
+uint64_t SampleHash(const std::vector<uint64_t>& ids) {
+  uint64_t h = 1469598103934665603ull;
+  for (const uint64_t id : ids) {
+    for (int b = 0; b < 64; b += 8) {
+      h ^= (id >> b) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+// `recover`: durable sharded ingest with scriptable kill -9 semantics.
+// --kill-at-step raises a REAL SIGKILL at shard 0's quiesce point for
+// that step (exit code 137 to the caller); a later --resume invocation
+// recovers every shard from --dir and finishes the same workload. The
+// reference role runs the plain (non-durable) faulty harness with the
+// identical zero-fault schedule, so its sample is the
+// bit-identical-by-construction target.
+int RunRecoverMode(const Options& opt, const Workload& w) {
+  if (opt.backend != "engine" && opt.backend != "sim") {
+    std::fprintf(stderr, "unknown --backend: %s (engine|sim)\n",
+                 opt.backend.c_str());
+    return 2;
+  }
+  const auto backend = opt.backend == "sim" ? faults::Backend::kSim
+                                            : faults::Backend::kEngine;
+  const WsworConfig config{
+      .num_sites = opt.k, .sample_size = opt.s, .seed = opt.seed};
+  std::vector<faults::FaultConfig> shard_faults;
+  for (int j = 0; j < opt.shards; ++j) {
+    faults::FaultConfig fc;
+    fc.seed = opt.fault_seed + static_cast<uint64_t>(j);
+    fc.process_kill_prob = opt.kill_prob;
+    shard_faults.push_back(fc);
+  }
+
+  obs::Snapshot snap;
+  snap.Append("shards", static_cast<uint64_t>(opt.shards));
+  if (opt.reference) {
+    faults::ShardedFaultyWswor ref(config, shard_faults, backend);
+    ref.Run(w);
+    const std::vector<uint64_t> ids = ref.MergedSampleIds();
+    snap.Append("sample", static_cast<uint64_t>(ids.size()));
+    snap.Append("sample_hash", SampleHash(ids));
+    AppendFaultReport(ref.report(), "faults", &snap);
+    std::printf("%s\n", snap.ToJson().c_str());
+    return 0;
+  }
+
+  if (!durability::EnsureDir(opt.dir)) {
+    std::fprintf(stderr, "cannot create --dir: %s\n", opt.dir.c_str());
+    return 1;
+  }
+  durability::DurabilityOptions dopt;
+  dopt.dir = opt.dir;
+  dopt.commit_interval_steps = opt.commit_interval;
+  dopt.checkpoint_interval_steps = opt.checkpoint_interval;
+  durability::ShardedDurableWswor run(config, shard_faults, backend, dopt);
+
+  // Drive the shards by hand (the sharded Run() minus the hook) so the
+  // scripted kill can fire at shard 0's quiesce point. SIGKILL is not
+  // catchable: the kernel tears the process down exactly as the soak
+  // intends, un-committed WAL bytes and all.
+  const std::vector<Workload> splits = SplitByShard(w, run.topology());
+  for (int j = 0; j < run.topology().num_shards(); ++j) {
+    std::function<void(uint64_t)> on_step;
+    if (j == 0 && opt.kill_at_step > 0) {
+      const uint64_t kill_at = opt.kill_at_step;
+      on_step = [kill_at](uint64_t step) {
+        if (step == kill_at) ::raise(SIGKILL);
+      };
+    }
+    run.shard(j).Run(splits[static_cast<size_t>(j)], on_step);
+  }
+
+  const faults::RunReport report = run.report();
+  if (opt.resume && report.recoveries == 0) {
+    std::fprintf(stderr,
+                 "note: --resume found no durable state under %s "
+                 "(ran from genesis)\n",
+                 opt.dir.c_str());
+  }
+  const std::vector<uint64_t> ids = run.MergedSampleIds();
+  snap.Append("sample", static_cast<uint64_t>(ids.size()));
+  snap.Append("sample_hash", SampleHash(ids));
+  AppendFaultReport(report, "faults", &snap);
+  std::printf("%s\n", snap.ToJson().c_str());
+  return report.recovery_consistent ? 0 : 1;
+}
+
+// `wal-dump`: decode one segment with the real reader (longest valid
+// prefix, stop at the first bad CRC) and print each record as a JSON
+// line; the prefix/truncation summary goes to stderr.
+int RunWalDumpMode(const Options& opt) {
+  if (opt.file.empty()) {
+    std::fprintf(stderr, "wal-dump requires --file=<wal-N.log>\n");
+    return 2;
+  }
+  const durability::WalReadResult result = durability::ReadWalFile(opt.file);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s: %s\n", opt.file.c_str(), result.error.c_str());
+    return 1;
+  }
+  size_t undecodable = 0;
+  for (size_t i = 0; i < result.payloads.size(); ++i) {
+    const auto record = durability::DecodeWalRecord(result.payloads[i]);
+    if (!record.has_value()) {
+      ++undecodable;
+      std::printf("{\"i\": %zu, \"type\": \"undecodable\", \"bytes\": %zu}\n",
+                  i, result.payloads[i].size());
+      continue;
+    }
+    const std::string type =
+        util::JsonQuote(durability::WalRecordTypeName(record->type));
+    switch (record->type) {
+      case durability::WalRecordType::kMessage:
+        std::printf("{\"i\": %zu, \"type\": %s, \"site\": %d, "
+                    "\"msg_type\": %u, \"a\": %llu, \"x\": %.17g, "
+                    "\"y\": %.17g, \"seq\": %u, \"epoch\": %u}\n",
+                    i, type.c_str(), record->site, record->msg.type,
+                    static_cast<unsigned long long>(record->msg.a),
+                    record->msg.x, record->msg.y, record->msg.seq,
+                    record->msg.epoch);
+        break;
+      case durability::WalRecordType::kThresholdBump:
+        std::printf("{\"i\": %zu, \"type\": %s, \"threshold\": %.17g}\n", i,
+                    type.c_str(), record->threshold);
+        break;
+      case durability::WalRecordType::kEpochChange:
+        std::printf("{\"i\": %zu, \"type\": %s, \"epoch\": %lld}\n", i,
+                    type.c_str(), static_cast<long long>(record->epoch));
+        break;
+      case durability::WalRecordType::kSampleDelta:
+        if (record->evicted_valid) {
+          std::printf("{\"i\": %zu, \"type\": %s, \"id\": %llu, "
+                      "\"weight\": %.17g, \"key\": %.17g, "
+                      "\"evicted_id\": %llu}\n",
+                      i, type.c_str(),
+                      static_cast<unsigned long long>(record->added.item.id),
+                      record->added.item.weight, record->added.key,
+                      static_cast<unsigned long long>(record->evicted_id));
+        } else {
+          std::printf("{\"i\": %zu, \"type\": %s, \"id\": %llu, "
+                      "\"weight\": %.17g, \"key\": %.17g}\n",
+                      i, type.c_str(),
+                      static_cast<unsigned long long>(record->added.item.id),
+                      record->added.item.weight, record->added.key);
+        }
+        break;
+      case durability::WalRecordType::kStepMark:
+        std::printf("{\"i\": %zu, \"type\": %s, \"step\": %llu}\n", i,
+                    type.c_str(),
+                    static_cast<unsigned long long>(record->step));
+        break;
+      case durability::WalRecordType::kCheckpointMark:
+        std::printf("{\"i\": %zu, \"type\": %s, \"seq\": %llu}\n", i,
+                    type.c_str(),
+                    static_cast<unsigned long long>(record->step));
+        break;
+    }
+  }
+  std::fprintf(stderr,
+               "%s: %zu records (%zu undecodable), %zu valid bytes%s\n",
+               opt.file.c_str(), result.payloads.size(), undecodable,
+               result.valid_bytes,
+               result.truncated_tail ? ", TRUNCATED TAIL" : "");
+  return 0;
+}
+
 }  // namespace
 }  // namespace dwrs
 
 int main(int argc, char** argv) {
   using namespace dwrs;
   const auto opt = Parse(argc, argv);
+  if (opt.mode == "wal-dump") return RunWalDumpMode(opt);
   const Workload w = [&] {
     WorkloadBuilder builder;
     builder.num_sites(opt.k)
@@ -377,6 +595,7 @@ int main(int argc, char** argv) {
   }();
   if (opt.mode == "stats") return RunStatsMode(opt, w);
   if (opt.mode == "trace") return RunTraceMode(opt, w);
+  if (opt.mode == "recover") return RunRecoverMode(opt, w);
   const auto result = Dispatch(opt, w);
   if (opt.csv) {
     std::printf("%s,%d,%d,%llu,%.6g,%llu,%llu,%llu,%.1f\n", opt.algo.c_str(),
