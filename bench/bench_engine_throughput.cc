@@ -45,10 +45,20 @@
 // must stay within 25% of non-durable, measured back to back in the
 // same process so machine speed cancels.
 //
+// E16 — multi-reader query scale-out: readers ∈ {1, 4, 8} hammering the
+// QueryService concurrently with ingestion, root-merge cache off vs on.
+// Uncached queries redo the S-way root merge every call; cached ones
+// revalidate by per-shard publish-sequence stamps and share the merged
+// result, so between publishes they are O(1) and copy no snapshots.
+// Gated in-run: some cached multi-reader row must reach 1e6 queries/s
+// and 4x its uncached counterpart, measured back to back in the same
+// process so machine speed cancels.
+//
 // Results are written to BENCH_engine_throughput.json (schema: name,
 // params, rows[workload, backend, k, batch_size, shards, items_per_sec,
 // messages, ...]; the live_query row adds queries_per_sec, query_us_mean
-// and the registry histogram's query_us_p50/query_us_p99).
+// and the registry histogram's query_us_p50/query_us_p99; the
+// query_scale_* rows add readers, cache and the merge-cache counters).
 
 #include <atomic>
 #include <chrono>
@@ -278,6 +288,82 @@ BackendResult RunLiveQuery(const Workload& w, int k, int shards, int s,
   *query_us_mean = q > 0.0 ? 1e6 * (t1 - t0) / q : 0.0;
   *query_us_p50 = latency_us.Quantile(0.5);
   *query_us_p99 = latency_us.Quantile(0.99);
+  eng.Shutdown();
+  return result;
+}
+
+// The E16 rows: `readers` threads hammer the service concurrently —
+// through the root-merge cache (QueryShared) or the uncached full merge
+// (Query) — while the sharded engine ingests `w`. Per-reader counts are
+// thread-local and summed after the join, so the measurement itself
+// adds no shared-counter contention.
+BackendResult RunQueryScale(const Workload& w, int k, int shards, int s,
+                            uint64_t seed, size_t batch_size, int readers,
+                            bool cached, double* queries_per_sec,
+                            double* query_us_mean,
+                            query::QueryServiceStats* cache_stats,
+                            uint64_t* snapshot_publishes) {
+  const WsworConfig config{.num_sites = k, .sample_size = s, .seed = seed};
+  engine::ShardedEngineConfig engine_config;
+  engine_config.num_sites = k;
+  engine_config.num_shards = shards;
+  engine_config.shard.batch_size = batch_size;
+  engine::ShardedEngine eng(engine_config);
+  const ShardedWsworEndpoints endpoints = AttachShardedWswor(config, eng);
+  const std::unique_ptr<query::LiveShardPublishers> publishers =
+      query::EnableWsworLiveQueries(eng, endpoints);
+  query::QueryService service(publishers->views());
+
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> counts(static_cast<size_t>(readers), 0);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    pool.emplace_back([&service, &stop, &counts, r, cached] {
+      uint64_t local = 0;
+      if (cached) {
+        while (!stop.load(std::memory_order_acquire)) {
+          const auto result = service.QueryShared();
+          (void)result;
+          ++local;
+        }
+      } else {
+        while (!stop.load(std::memory_order_acquire)) {
+          const query::QueryResult result = service.Query();
+          (void)result;
+          ++local;
+        }
+      }
+      counts[static_cast<size_t>(r)] = local;
+    });
+  }
+  const double t0 = Now();
+  eng.Run(w);
+  const double t1 = Now();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : pool) t.join();
+
+  BackendResult result;
+  result.seconds = t1 - t0;
+  result.items_per_sec = static_cast<double>(w.size()) / (t1 - t0);
+  result.messages = eng.AggregateMessageSnapshot().total_messages();
+  result.per_shard_messages = JoinCounts(eng.PerShardMessages());
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  *queries_per_sec = static_cast<double>(total) / (t1 - t0);
+  // Mean latency in reader-time: `readers` reader-seconds elapse per
+  // wall second, so this is what one query costs its calling thread
+  // (scheduling included), comparable across reader counts.
+  *query_us_mean = total > 0 ? 1e6 * static_cast<double>(readers) *
+                                   (t1 - t0) / static_cast<double>(total)
+                             : 0.0;
+  *cache_stats = service.stats();
+  *snapshot_publishes = 0;
+  for (int j = 0; j < shards; ++j) {
+    *snapshot_publishes +=
+        eng.shard_engine(j).stats().snapshot_publishes.load(
+            std::memory_order_relaxed);
+  }
   eng.Shutdown();
   return result;
 }
@@ -533,9 +619,81 @@ int Main(bool quick, int shards_filter) {
                queries_per_sec, query_us_mean, query_us_p50, query_us_p99);
   }
 
+  // E16 — multi-reader query scale-out: readers ∈ {1, 4, 8}, root-merge
+  // cache off vs on, same ingest running underneath. The uncached rows
+  // are merge-bound (every query redoes the S-way root merge); the
+  // cached rows revalidate by publish-sequence stamps and serve the
+  // shared merged result, so repeated queries between publishes are
+  // O(1). The acceptance gate rides the run's own numbers: some cached
+  // multi-reader row must reach 1e6 queries/s AND 4x its uncached
+  // counterpart in the same run.
+  int query_gate_failures = 0;
+  {
+    // query_s = 64 keeps the uncached S-way merge honest: every uncached
+    // query copies and merges shards * query_s entries, which is the
+    // work the cache amortizes away.
+    const int k = 8, shards = 2, query_s = 64;
+    const Workload w = bench::ZipfWorkload(k, n, /*seed=*/7 + k);
+    bool gate_met = false;
+    double best_cached = 0.0, best_ratio = 0.0;
+    for (const int readers : {1, 4, 8}) {
+      double uncached_qps = 0.0;
+      for (const bool cached : {false, true}) {
+        double queries_per_sec = 0.0, query_us_mean = 0.0;
+        query::QueryServiceStats cache_stats;
+        uint64_t snapshot_publishes = 0;
+        const BackendResult r = RunQueryScale(
+            w, k, shards, query_s, /*seed=*/101, batch, readers, cached,
+            &queries_per_sec, &query_us_mean, &cache_stats,
+            &snapshot_publishes);
+        const std::string workload =
+            "query_scale_r" + std::to_string(readers) +
+            (cached ? "_cached" : "_uncached");
+        Report(json, workload, "sharded", k, batch, r, shards);
+        const uint64_t probes =
+            cache_stats.cache_hits + cache_stats.cache_misses;
+        json.Field("queries_per_sec", queries_per_sec)
+            .Field("query_us_mean", query_us_mean)
+            .Field("readers", static_cast<uint64_t>(readers))
+            .Field("cache", static_cast<uint64_t>(cached ? 1 : 0))
+            .Field("cache_hits", cache_stats.cache_hits)
+            .Field("cache_misses", cache_stats.cache_misses)
+            .Field("cache_invalidations", cache_stats.cache_invalidations)
+            .Field("snapshot_copies_avoided",
+                   cache_stats.snapshot_copies_avoided)
+            .Field("snapshot_publishes", snapshot_publishes);
+        bench::Row("    -> r=%d %s: %.0f queries/s, %.2f us mean "
+                   "(hit rate %.3f, %llu copies avoided)",
+                   readers, cached ? "cached" : "uncached", queries_per_sec,
+                   query_us_mean,
+                   probes > 0 ? static_cast<double>(cache_stats.cache_hits) /
+                                    static_cast<double>(probes)
+                              : 0.0,
+                   static_cast<unsigned long long>(
+                       cache_stats.snapshot_copies_avoided));
+        if (!cached) {
+          uncached_qps = queries_per_sec;
+        } else if (readers > 1) {
+          const double ratio =
+              uncached_qps > 0.0 ? queries_per_sec / uncached_qps : 0.0;
+          if (queries_per_sec > best_cached) best_cached = queries_per_sec;
+          if (ratio > best_ratio) best_ratio = ratio;
+          if (queries_per_sec >= 1e6 && ratio >= 4.0) gate_met = true;
+        }
+      }
+    }
+    if (!gate_met) {
+      bench::Row("    !! query-scale gate FAILED: best cached multi-reader "
+                 "row %.0f queries/s (x%.1f vs uncached); need >= 1e6 "
+                 "and >= 4x",
+                 best_cached, best_ratio);
+      ++query_gate_failures;
+    }
+  }
+
   const std::string path = json.Write();
   bench::Row("wrote %s", path.c_str());
-  return durable_gate_failures == 0 ? 0 : 1;
+  return durable_gate_failures + query_gate_failures == 0 ? 0 : 1;
 }
 
 }  // namespace

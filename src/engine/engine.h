@@ -81,6 +81,10 @@ class Engine : public sim::Transport {
   }
   const EngineConfig& config() const { return config_; }
   const EngineStats& stats() const { return stats_; }
+  // For attached instrumentation that accounts work it performs on this
+  // engine's threads (the snapshot hook counting its publishes); the
+  // counters are atomics, so any thread may increment.
+  EngineStats& stats_mutable() { return stats_; }
 
   // Non-owning; endpoints must outlive the engine. All sites and the
   // coordinator must be attached before the first Push/Run/Flush.

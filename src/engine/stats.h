@@ -53,6 +53,14 @@ struct EngineStats {
   std::atomic<uint64_t> batches_recycled{0};
   std::atomic<uint64_t> batch_pool_misses{0};
 
+  // Live-query publication: snapshots this engine's coordinator hook
+  // pushed into its SnapshotPublisher ring (one per processed
+  // coordinator message when live queries are enabled, plus the eager
+  // initial publish). The cached query path's copies-avoided counter
+  // lives with the QueryService (query/query_service.h) — this side
+  // counts what the ingestion thread paid.
+  std::atomic<uint64_t> snapshot_publishes{0};
+
   // Site hot-path counters (Proposition 7 accounting), summed over the
   // attached endpoints at each quiesce point — keys_decided threshold
   // decisions consuming key_bits_consumed random bits, of which

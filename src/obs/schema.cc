@@ -5,6 +5,7 @@
 #include "engine/stats.h"
 #include "faults/faulty_transport.h"
 #include "faults/harness.h"
+#include "query/query_service.h"
 #include "sim/message.h"
 #include "sim/node.h"
 
@@ -58,11 +59,24 @@ void AppendEngineStats(const engine::EngineStats& stats,
   out->Append(Join(prefix, "worker_parks"), get(stats.worker_parks));
   out->Append(Join(prefix, "batches_dropped_on_shutdown"),
               get(stats.batches_dropped_on_shutdown));
+  out->Append(Join(prefix, "snapshot_publishes"),
+              get(stats.snapshot_publishes));
   sim::SiteHotPathCounters hot;
   hot.keys_decided = get(stats.keys_decided);
   hot.key_bits_consumed = get(stats.key_bits_consumed);
   hot.skips_taken = get(stats.skips_taken);
   AppendHotPathCounters(hot, prefix, out);
+}
+
+void AppendQueryServiceStats(const query::QueryServiceStats& stats,
+                             const std::string& prefix, Snapshot* out) {
+  out->Append(Join(prefix, "cache_hits"), stats.cache_hits);
+  out->Append(Join(prefix, "cache_misses"), stats.cache_misses);
+  out->Append(Join(prefix, "cache_invalidations"), stats.cache_invalidations);
+  out->Append(Join(prefix, "snapshot_copies_avoided"),
+              stats.snapshot_copies_avoided);
+  out->Append(Join(prefix, "slo_waits"), stats.slo_waits);
+  out->Append(Join(prefix, "slo_timeouts"), stats.slo_timeouts);
 }
 
 void AppendFaultReport(const faults::RunReport& report,

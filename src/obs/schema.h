@@ -32,6 +32,10 @@ struct RunReport;
 struct FaultCounters;
 }  // namespace dwrs::faults
 
+namespace dwrs::query {
+struct QueryServiceStats;
+}  // namespace dwrs::query
+
 namespace dwrs::obs {
 
 // messages, site_to_coord, coord_to_site, broadcast_events, words, plus
@@ -49,6 +53,12 @@ void AppendHotPathCounters(const sim::SiteHotPathCounters& counters,
 // (relaxed reads, like EngineStats itself).
 void AppendEngineStats(const engine::EngineStats& stats,
                        const std::string& prefix, Snapshot* out);
+
+// cache_hits, cache_misses, cache_invalidations,
+// snapshot_copies_avoided, slo_waits, slo_timeouts (the merge-cache /
+// freshness-SLO counters of query::QueryService).
+void AppendQueryServiceStats(const query::QueryServiceStats& stats,
+                             const std::string& prefix, Snapshot* out);
 
 // Every RunReport field (transcript_hash, delivered, crashes, session
 // and fault-transport counters, clean as 0/1).

@@ -74,6 +74,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kWalFsync: return "wal_fsync";
     case EventType::kCheckpointWrite: return "checkpoint_write";
     case EventType::kRecoveryReplay: return "recovery_replay";
+    case EventType::kQueryWait: return "query_wait";
   }
   return "unknown";
 }

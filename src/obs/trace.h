@@ -75,6 +75,7 @@ enum class EventType : uint16_t {
   kWalFsync = 25,          // durability: group commit flushed (a=bytes)
   kCheckpointWrite = 26,   // durability: checkpoint file written (a=seq)
   kRecoveryReplay = 27,    // durability: WAL tail replayed (a=records)
+  kQueryWait = 28,         // freshness-SLO wait (a=min_version, dir=timeout)
 };
 
 const char* EventTypeName(EventType type);

@@ -5,11 +5,12 @@
 
 namespace dwrs::query {
 
-LiveShardPublishers::LiveShardPublishers(int num_shards) {
+LiveShardPublishers::LiveShardPublishers(int num_shards, int ring_depth) {
   DWRS_CHECK_GT(num_shards, 0);
+  DWRS_CHECK_GT(ring_depth, 0);
   publishers_.reserve(static_cast<size_t>(num_shards));
   for (int j = 0; j < num_shards; ++j) {
-    publishers_.push_back(std::make_unique<SnapshotPublisher>());
+    publishers_.push_back(std::make_unique<SnapshotPublisher>(ring_depth));
     publishers_.back()->set_trace_shard(j);
   }
 }
@@ -43,10 +44,12 @@ void CaptureAndPublish(const WsworCoordinator& coordinator, uint64_t steps,
 }  // namespace
 
 std::unique_ptr<LiveShardPublishers> EnableWsworLiveQueries(
-    engine::ShardedEngine& eng, const ShardedWsworEndpoints& endpoints) {
+    engine::ShardedEngine& eng, const ShardedWsworEndpoints& endpoints,
+    int ring_depth) {
   DWRS_CHECK_EQ(endpoints.coordinators.size(),
                 static_cast<size_t>(eng.num_shards()));
-  auto publishers = std::make_unique<LiveShardPublishers>(eng.num_shards());
+  auto publishers =
+      std::make_unique<LiveShardPublishers>(eng.num_shards(), ring_depth);
   for (int j = 0; j < eng.num_shards(); ++j) {
     const WsworCoordinator* coordinator =
         endpoints.coordinators[static_cast<size_t>(j)].get();
@@ -55,10 +58,14 @@ std::unique_ptr<LiveShardPublishers> EnableWsworLiveQueries(
     eng.SetShardSnapshotHook(j, [coordinator, shard_engine, publisher] {
       CaptureAndPublish(*coordinator, shard_engine->step(),
                         shard_engine->stats().MessageSnapshot(), *publisher);
+      shard_engine->stats_mutable().snapshot_publishes.fetch_add(
+          1, std::memory_order_relaxed);
     });
     // Initial state, published from this (pre-ingestion) thread so a
     // reader that races the first message still finds a snapshot.
     CaptureAndPublish(*coordinator, 0, sim::MessageStats{}, *publisher);
+    shard_engine->stats_mutable().snapshot_publishes.fetch_add(
+        1, std::memory_order_relaxed);
   }
   return publishers;
 }

@@ -32,11 +32,17 @@
 
 namespace dwrs::query {
 
+// Default snapshot-ring depth for live deployments: deep enough that
+// QueryAsOf can reach back across a burst of publishes, shallow enough
+// that the per-shard node pool stays a few cache lines of pointers.
+inline constexpr int kDefaultRingDepth = 8;
+
 // Owns one SnapshotPublisher per shard. Outlive every QueryService (and
 // every engine whose hooks publish into it) built over views().
 class LiveShardPublishers {
  public:
-  explicit LiveShardPublishers(int num_shards);
+  explicit LiveShardPublishers(int num_shards,
+                               int ring_depth = kDefaultRingDepth);
 
   int num_shards() const { return static_cast<int>(publishers_.size()); }
   SnapshotPublisher& shard(int j) { return *publishers_[Index(j)]; }
@@ -56,8 +62,12 @@ class LiveShardPublishers {
 // endpoints and the returned publishers must outlive the engine's
 // threads; the usual teardown order (publishers before service reads
 // stop, engine shut down or quiescent before endpoints die) applies.
+// Each hook also counts its publishes in the shard engine's
+// EngineStats::snapshot_publishes. ring_depth bounds how far back
+// QueryAsOf can reach on each shard.
 std::unique_ptr<LiveShardPublishers> EnableWsworLiveQueries(
-    engine::ShardedEngine& eng, const ShardedWsworEndpoints& endpoints);
+    engine::ShardedEngine& eng, const ShardedWsworEndpoints& endpoints,
+    int ring_depth = kDefaultRingDepth);
 
 // Step-synchronous reference publication: capture + publish all shards
 // of the simulator backend. Cheap (O(S * s)); call per step.

@@ -18,6 +18,35 @@
 // snapshot lags its true state by at most the messages currently queued
 // to its coordinator (zero at shard quiesce).
 //
+// Root-merge cache. Between publishes every query redoes the identical
+// S-way merge, so the merge — not the lock-free reads — bounds the
+// query rate. QueryShared() caches one merged result keyed by the
+// vector of per-shard publish sequences. The key is built from the
+// publish_seq stamps of the snapshots that were actually pinned, read
+// and merged (each individually coherent under the publisher's
+// pin/validate protocol), and a hit requires EVERY shard's current
+// latest_seq() probe to equal the cached key — the double check that
+// guarantees no reader ever serves a merge whose key vector was torn
+// across a publish. Any shard's publish changes its sequence and thus
+// misses the cache; the next query rebuilds and reinstalls. Hits cost
+// S sequence probes and zero snapshot copies (the probe replaces the
+// full ShardSnapshot copy Read() would make) — O(1) in sample size.
+//
+// Time travel. QueryAsOf(v) asks each shard for its newest retained
+// snapshot with state_version <= v (the publisher keeps a ring of the
+// last R publishes). A cross-shard as-of cut is exact for the same
+// reason a live cut is. A shard whose ring no longer retains any
+// snapshot <= v (evicted past the ring depth) makes the result
+// incomplete — history is gone, never approximated.
+//
+// Freshness SLOs. Query(QueryOptions{min_version, max_staleness})
+// blocks on the publishers' version waiters — which the engine's
+// publish hook feeds at every coordinator quiesce point — until every
+// shard has published state_version >= min_version, or the staleness
+// budget runs out. On timeout the result is SERVED but flagged
+// (version_satisfied == false, lagging_shards listed), mirroring the
+// any_stale convention: never silently stale.
+//
 // Fault semantics: a shard whose session layer reports degradation
 // publishes its last clean state flagged stale (query/snapshot.h). The
 // merge NEVER silently folds such a shard: the result carries the stale
@@ -32,8 +61,11 @@
 #ifndef DWRS_QUERY_QUERY_SERVICE_H_
 #define DWRS_QUERY_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "estimators/swor_estimators.h"
@@ -56,6 +88,13 @@ struct QueryResult {
   bool any_stale = false;
   std::vector<int> stale_shards;
 
+  // Freshness-SLO visibility (Query(QueryOptions) only; plain queries
+  // leave the defaults). False means the staleness budget expired
+  // before every shard passed min_version; the shards still behind are
+  // listed — the result is flagged, never silently stale.
+  bool version_satisfied = true;
+  std::vector<int> lagging_shards;
+
   // Root merge of the shard summaries (exact; see the header comment).
   MergeableSample merged;
 
@@ -75,6 +114,28 @@ struct QueryResult {
   std::vector<ShardSnapshot> shards;
 };
 
+// Per-query freshness SLO (see header comment).
+struct QueryOptions {
+  // Serve only state at or past this coordinator state version on every
+  // shard; 0 disables the wait (plain Query semantics).
+  uint64_t min_version = 0;
+  // How long the query may block waiting for publishes to catch up. On
+  // expiry the result is served flagged (version_satisfied == false).
+  std::chrono::nanoseconds max_staleness = std::chrono::nanoseconds::zero();
+};
+
+// Cache / SLO counters, exported through obs/schema.cc under the
+// "query/" prefix. snapshot_copies_avoided counts the per-shard
+// ShardSnapshot copies the sequence-stamp revalidation saved (hits * S).
+struct QueryServiceStats {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+  uint64_t snapshot_copies_avoided = 0;
+  uint64_t slo_waits = 0;
+  uint64_t slo_timeouts = 0;
+};
+
 class QueryService {
  public:
   // Non-owning views of the per-shard publishers, in shard order. The
@@ -85,8 +146,30 @@ class QueryService {
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   // One lock-free read per shard plus an O(S * s log s) merge; safe from
-  // any number of threads concurrently with ingestion.
+  // any number of threads concurrently with ingestion. Always rebuilds
+  // the merge (the uncached path); see QueryShared() for the cached one.
   QueryResult Query() const;
+
+  // Cached query: returns a shared view of the root merge for the
+  // current per-shard publish-sequence vector, rebuilding only when
+  // some shard has published since the cached entry was installed
+  // (see the header comment for the coherence argument). The returned
+  // pointer stays valid after invalidation — it pins the entry it was
+  // served from.
+  std::shared_ptr<const QueryResult> QueryShared() const;
+
+  // Freshness-SLO query: waits (bounded by options.max_staleness) until
+  // every shard's published state_version reaches options.min_version,
+  // then serves. On timeout serves anyway with version_satisfied ==
+  // false and the lagging shards listed.
+  QueryResult Query(const QueryOptions& options) const;
+
+  // Time-travel query: each shard contributes its newest retained
+  // snapshot with state_version <= max_state_version. Shards whose ring
+  // evicted all such snapshots (or never published) leave their
+  // positional entry default-initialized and make the result
+  // incomplete.
+  QueryResult QueryAsOf(uint64_t max_state_version) const;
 
   // The merged global sample of Query() (empty while incomplete).
   std::vector<KeyedItem> Sample() const;
@@ -109,6 +192,10 @@ class QueryService {
   double SubsetCount(const std::function<bool(const Item&)>& pred) const;
   double TotalWeight() const;
 
+  // Point-in-time copy of the cache / SLO counters (relaxed reads; each
+  // counter individually exact).
+  QueryServiceStats stats() const;
+
   // Optional serve-latency histogram (microseconds). When set, every
   // Query() records its wall-clock duration; the histogram's Record is
   // wait-free, so concurrent query threads stay lock-free. Set before
@@ -118,8 +205,24 @@ class QueryService {
   }
 
  private:
+  // A cached root merge plus the publish-sequence vector it was built
+  // from (the stamps of the snapshots actually merged — never probed
+  // separately, so the key can never be torn against its result).
+  struct CachedQuery {
+    std::vector<uint64_t> seqs;
+    QueryResult result;
+  };
+
   std::vector<const SnapshotPublisher*> shards_;
   obs::LatencyHistogram* latency_us_ = nullptr;
+
+  mutable std::atomic<std::shared_ptr<const CachedQuery>> cache_;
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> cache_misses_{0};
+  mutable std::atomic<uint64_t> cache_invalidations_{0};
+  mutable std::atomic<uint64_t> copies_avoided_{0};
+  mutable std::atomic<uint64_t> slo_waits_{0};
+  mutable std::atomic<uint64_t> slo_timeouts_{0};
 };
 
 }  // namespace dwrs::query

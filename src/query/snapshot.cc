@@ -1,5 +1,6 @@
 #include "query/snapshot.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/trace.h"
@@ -7,15 +8,16 @@
 
 namespace dwrs::query {
 
-namespace {
-// Two spares beyond the live node cover the common case (one node being
-// read, one being written) without growing the pool.
-constexpr size_t kInitialPoolSize = 3;
-}  // namespace
-
-SnapshotPublisher::SnapshotPublisher() {
-  pool_.reserve(kInitialPoolSize);
-  for (size_t i = 0; i < kInitialPoolSize; ++i) {
+SnapshotPublisher::SnapshotPublisher(int ring_depth)
+    : ring_(static_cast<size_t>(ring_depth > 0 ? ring_depth : 1)) {
+  for (auto& slot : ring_) slot.store(nullptr, std::memory_order_relaxed);
+  ring_mirror_.assign(ring_.size(), nullptr);
+  // Seed a few nodes; AcquireFreeNode grows the pool on demand, so a
+  // deep ring only pays for the slots it actually fills. Steady state
+  // settles at ring_depth + 1 + (concurrently pinned spares).
+  const size_t initial = std::min(ring_.size() + 2, size_t{4});
+  pool_.reserve(ring_.size() + 2);
+  for (size_t i = 0; i < initial; ++i) {
     pool_.push_back(std::make_unique<Node>());
   }
 }
@@ -31,13 +33,14 @@ SnapshotPublisher::~SnapshotPublisher() {
 }
 
 SnapshotPublisher::Node* SnapshotPublisher::AcquireFreeNode() {
-  Node* live = latest_.load(std::memory_order_relaxed);
   for (const auto& node : pool_) {
-    if (node.get() == live) continue;
+    // in_ring is writer-owned: live nodes (any ring slot, including
+    // latest) are never recycled.
+    if (node->in_ring) continue;
     // seq_cst pairs with the readers' pin/validate sequence: a reader
     // whose increment is not visible here is guaranteed to fail its
-    // latest-pointer validation and back off without touching the
-    // content (see Read()).
+    // slot-pointer validation and back off without touching the
+    // content (see Read()/ReadAsOf()).
     if (node->refs.load(std::memory_order_seq_cst) == 0) return node.get();
   }
   // Every spare node is pinned by a reader right now. Grow instead of
@@ -75,10 +78,30 @@ void SnapshotPublisher::Publish(ShardSnapshot snap) {
     event.dir = snap.stale ? 1 : 0;
     obs::Emit(event);
   }
+  const uint64_t seq = snap.publish_seq;
+  const uint64_t version = snap.state_version;
   Node* node = AcquireFreeNode();
   node->snap = std::move(snap);
+  const size_t slot = static_cast<size_t>((seq - 1) % ring_.size());
+  Node* evicted = ring_mirror_[slot];
+  node->in_ring = true;
+  ring_[slot].store(node, std::memory_order_seq_cst);
+  if (evicted != nullptr) evicted->in_ring = false;
+  ring_mirror_[slot] = node;
   latest_.store(node, std::memory_order_seq_cst);
+  // Stored after the slot/latest swaps: cache probes may lag the ring by
+  // one in-flight publish (a spurious cache miss, never a wrong hit).
+  latest_seq_.store(seq, std::memory_order_seq_cst);
+  latest_version_.store(version, std::memory_order_seq_cst);
   publish_count_.fetch_add(1, std::memory_order_release);
+  // Freshness-SLO waiters: only touch the mutex when somebody is
+  // actually waiting. The seq_cst version store above pairs with the
+  // waiter's seq_cst registration: either the waiter sees the new
+  // version on its pre-wait check, or this load sees its registration.
+  if (waiters_.load(std::memory_order_seq_cst) != 0) {
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    wait_cv_.notify_all();
+  }
 }
 
 bool SnapshotPublisher::Read(ShardSnapshot* out) const {
@@ -99,6 +122,58 @@ bool SnapshotPublisher::Read(ShardSnapshot* out) const {
     // about to rewrite. Back off without touching the content.
     node->refs.fetch_sub(1, std::memory_order_release);
   }
+}
+
+bool SnapshotPublisher::ReadAsOf(uint64_t max_state_version,
+                                 ShardSnapshot* out) const {
+  // Scan every slot with the same pin/validate protocol Read() uses and
+  // keep the newest coherent copy that satisfies the version bound. A
+  // slot that rotates under us is re-read (each retry means a fresh
+  // publish landed); a slot whose content turns out newer than the
+  // bound is simply not a candidate. Slot ABA (see header) only ever
+  // yields a coherent, newer snapshot — the stamps in the copy are what
+  // we filter on, so it is indistinguishable from reading the slot
+  // after the rotation.
+  bool found = false;
+  for (const auto& slot : ring_) {
+    for (;;) {
+      Node* node = slot.load(std::memory_order_seq_cst);
+      if (node == nullptr) break;
+      node->refs.fetch_add(1, std::memory_order_seq_cst);
+      if (slot.load(std::memory_order_seq_cst) != node) {
+        node->refs.fetch_sub(1, std::memory_order_release);
+        continue;  // the writer rotated this slot; re-read it
+      }
+      if (node->snap.state_version <= max_state_version &&
+          (!found || node->snap.publish_seq > out->publish_seq)) {
+        *out = node->snap;
+        found = true;
+      }
+      node->refs.fetch_sub(1, std::memory_order_release);
+      break;
+    }
+  }
+  return found;
+}
+
+bool SnapshotPublisher::WaitForStateVersion(
+    uint64_t version, std::chrono::nanoseconds timeout) const {
+  if (latest_version_.load(std::memory_order_seq_cst) >= version) return true;
+  if (timeout <= std::chrono::nanoseconds::zero()) return false;
+  // Register BEFORE the predicate check inside the wait: the publisher
+  // checks waiters_ after storing the version (both seq_cst), so either
+  // it sees our registration and notifies under the lock, or our
+  // predicate load sees its version store — no lost wakeup.
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  bool reached;
+  {
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    reached = wait_cv_.wait_for(lock, timeout, [&] {
+      return latest_version_.load(std::memory_order_seq_cst) >= version;
+    });
+  }
+  waiters_.fetch_sub(1, std::memory_order_release);
+  return reached;
 }
 
 }  // namespace dwrs::query

@@ -1,5 +1,5 @@
 // Live query snapshots: the per-shard state a coordinator publishes at
-// shard-local quiesce points, and the single-writer/many-reader cell the
+// shard-local quiesce points, and the single-writer/many-reader ring the
 // query path reads it from without ever blocking — or being blocked by —
 // ingestion.
 //
@@ -13,26 +13,44 @@
 // that owns the coordinator endpoint (the engine's coordinator thread,
 // or the driving thread under the step-synchronous simulator); readers
 // are arbitrary query threads. The design is a double-buffer generalized
-// to a small node pool with per-node reader pinning:
+// to a small node pool with per-node reader pinning, and — since the
+// ring generalization — R live nodes instead of one:
 //
 //   - The writer publishes into a pool node no reader currently pins
-//     (refs == 0) and that is not the live node, then swaps the `latest`
-//     pointer. The pool grows only when every spare node is pinned, so
-//     steady state recycles the same few nodes — and nodes are NEVER
-//     freed before the publisher dies, which is what makes the reader
-//     protocol safe without hazard pointers.
-//   - A reader pins: load latest, increment the node's reader count,
-//     re-validate that the node is still latest. Validation failure
-//     (the writer swapped concurrently) releases and retries; success
-//     means the node's content is complete (the seq_cst swap the
-//     validation load reads from happens after the writer's content
-//     write) and cannot be overwritten while pinned (the writer skips
-//     nodes with refs != 0, and the skip-check's acquire load pairs with
-//     the reader's release decrement).
+//     (refs == 0) and that is not referenced by any ring slot, then
+//     stores it into ring slot (publish_seq - 1) % R and swaps the
+//     `latest` pointer. The pool grows only when every spare node is
+//     pinned, so steady state recycles the same few nodes — and nodes
+//     are NEVER freed before the publisher dies, which is what makes
+//     the reader protocol safe without hazard pointers.
+//   - A reader pins: load a slot (or `latest`), increment the node's
+//     reader count, re-validate that the slot still holds the node.
+//     Validation failure (the writer rotated the slot concurrently)
+//     releases and retries; success means the node's content is
+//     complete (the seq_cst slot store the validation load reads from
+//     happens after the writer's content write) and cannot be
+//     overwritten while pinned (the writer skips nodes with refs != 0,
+//     and the skip-check pairs with the reader's pin/validate
+//     sequence). A slot can suffer ABA — the same node evicted and
+//     later re-published into the same slot — but the re-published
+//     content is itself complete before the store the validation read,
+//     so the copy is coherent either way; readers trust the stamps
+//     inside the copy, never the slot index.
 //
 // Reads are lock-free: a reader retries only when the writer published
 // concurrently, and never waits on a lock or on another reader. The
 // writer never waits at all.
+//
+// The ring enables time-travel reads: ReadAsOf(v) returns the newest
+// retained snapshot whose state_version <= v, or fails if every
+// retained snapshot is newer (the version was evicted — callers must
+// treat eviction as "history gone", not as an error to retry).
+//
+// Freshness waits: WaitForStateVersion(v) blocks until a publish with
+// state_version >= v lands (the publisher notifies only when waiters
+// are registered, so the publish hot path stays two atomic stores).
+// Published state versions are nondecreasing — degraded publishes
+// freeze at the last clean version, never an older one.
 //
 // Degraded publishes (snap.stale == true, the fault path): the publisher
 // freezes the CONTENT at the last clean snapshot — sample, threshold,
@@ -46,8 +64,11 @@
 #define DWRS_QUERY_SNAPSHOT_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sampling/mergeable_sample.h"
@@ -83,7 +104,9 @@ struct ShardSnapshot {
 
 class SnapshotPublisher {
  public:
-  SnapshotPublisher();
+  // ring_depth = R: how many published snapshots stay readable for
+  // ReadAsOf. 1 degenerates to the PR 5 latest-only cell.
+  explicit SnapshotPublisher(int ring_depth = 1);
   ~SnapshotPublisher();
 
   SnapshotPublisher(const SnapshotPublisher&) = delete;
@@ -101,11 +124,41 @@ class SnapshotPublisher {
   // (from one thread) see monotonically nondecreasing publish_seq.
   bool Read(ShardSnapshot* out) const;
 
+  // Any thread, lock-free. Copies the newest retained snapshot whose
+  // state_version <= max_state_version into `*out`. False when nothing
+  // has been published, or when every snapshot still in the ring is
+  // newer than max_state_version — i.e. the requested version has been
+  // evicted past the ring depth; history that far back is gone.
+  bool ReadAsOf(uint64_t max_state_version, ShardSnapshot* out) const;
+
+  // Any thread. Blocks until a publish with state_version >= version
+  // lands or `timeout` elapses; true iff the version was reached. The
+  // caller is expected to re-read after a true return. Pairs with the
+  // engine's publish hook: publishes happen on the coordinator thread
+  // at quiesce points, so waiting here is waiting on ingestion itself.
+  bool WaitForStateVersion(uint64_t version,
+                           std::chrono::nanoseconds timeout) const;
+
   // Publishes performed so far (writer-exact; readers see it lag at most
   // one in-flight publish behind Read()).
   uint64_t publish_count() const {
     return publish_count_.load(std::memory_order_acquire);
   }
+
+  // Cheap revalidation probes for the merge cache: the publish sequence
+  // / state version of the most recent publish, without copying the
+  // snapshot. Readers may see these lag the ring by at most one
+  // in-flight publish (they are stored after the slot swap), which can
+  // only turn a cache hit into a miss — never serve a wrong entry,
+  // because the cache key is compared against these same probes.
+  uint64_t latest_seq() const {
+    return latest_seq_.load(std::memory_order_seq_cst);
+  }
+  uint64_t latest_state_version() const {
+    return latest_version_.load(std::memory_order_seq_cst);
+  }
+
+  int ring_depth() const { return static_cast<int>(ring_.size()); }
 
   // Writer thread only: the state_version of the most recent publish
   // (after any degraded-content freezing), 0 before the first. Lets the
@@ -122,17 +175,34 @@ class SnapshotPublisher {
     ShardSnapshot snap;
     // Readers currently copying this node's content.
     std::atomic<uint64_t> refs{0};
+    // Writer-owned: true while some ring slot references this node
+    // (such nodes are live and must not be recycled).
+    bool in_ring = false;
   };
 
   Node* AcquireFreeNode();
 
+  // R live slots; slot (publish_seq - 1) % R holds that publish.
+  std::vector<std::atomic<Node*>> ring_;
   std::atomic<Node*> latest_{nullptr};
+  std::atomic<uint64_t> latest_seq_{0};
+  std::atomic<uint64_t> latest_version_{0};
   std::atomic<uint64_t> publish_count_{0};
+
+  // Freshness-SLO waiters. The publish path pays one relaxed-ish atomic
+  // load when nobody waits; the mutex is touched only around the
+  // condition variable.
+  mutable std::mutex wait_mutex_;
+  mutable std::condition_variable wait_cv_;
+  mutable std::atomic<uint32_t> waiters_{0};
 
   // Writer-owned. Nodes live until destruction (never freed while a
   // reader could hold a stale pointer); the pool grows past its initial
   // size only while readers pin every spare node.
   std::vector<std::unique_ptr<Node>> pool_;
+  // Writer-owned mirror of ring_ contents (avoids atomic loads when
+  // evicting).
+  std::vector<Node*> ring_mirror_;
   uint64_t next_seq_ = 0;
   uint64_t published_state_version_ = 0;
   int trace_shard_ = 0;

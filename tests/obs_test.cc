@@ -10,6 +10,7 @@
 // causality and event counts reconcile with the RunReport.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -175,6 +176,37 @@ TEST(SchemaTest, EngineStatsSnapshotIsBitEqualAtQuiesce) {
   Snapshot bare;
   AppendEngineStats(stats, "", &bare);
   EXPECT_EQ(stats.ToString(), bare.ToText());
+}
+
+TEST(SchemaTest, QueryServiceStatsSnapshotIsBitEqual) {
+  query::SnapshotPublisher publisher;
+  query::ShardSnapshot snap_in;
+  snap_in.state_version = 1;
+  snap_in.sample.kind = SampleKind::kTopKey;
+  snap_in.sample.target_size = 2;
+  publisher.Publish(std::move(snap_in));
+
+  QueryService service({&publisher});
+  (void)service.QueryShared();  // miss, fills the merge cache
+  (void)service.QueryShared();  // hit
+  (void)service.Query(query::QueryOptions{
+      .min_version = 99, .max_staleness = std::chrono::nanoseconds{0}});
+
+  const query::QueryServiceStats stats = service.stats();
+  Snapshot snap;
+  AppendQueryServiceStats(stats, "query", &snap);
+  EXPECT_EQ(Uint(snap, "query/cache_hits"), stats.cache_hits);
+  EXPECT_EQ(Uint(snap, "query/cache_misses"), stats.cache_misses);
+  EXPECT_EQ(Uint(snap, "query/cache_invalidations"),
+            stats.cache_invalidations);
+  EXPECT_EQ(Uint(snap, "query/snapshot_copies_avoided"),
+            stats.snapshot_copies_avoided);
+  EXPECT_EQ(Uint(snap, "query/slo_waits"), stats.slo_waits);
+  EXPECT_EQ(Uint(snap, "query/slo_timeouts"), stats.slo_timeouts);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.snapshot_copies_avoided, 1u);
+  EXPECT_EQ(stats.slo_timeouts, 1u);
 }
 
 TEST(RegistryTest, HandlesAreIdempotentAndHistogramQuantilesOrder) {

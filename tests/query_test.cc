@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -247,6 +248,140 @@ TEST(SnapshotPublisherTest, ConcurrentReadersSeeCoherentSnapshots) {
 }
 
 // ---------------------------------------------------------------------
+// Snapshot ring: time-travel reads and eviction semantics.
+
+TEST(SnapshotRingTest, ReadAsOfServesNewestRetainedAtOrBelowVersion) {
+  SnapshotPublisher publisher(/*ring_depth=*/4);
+  for (uint64_t v : {10, 20, 30, 40, 50, 60}) {
+    publisher.Publish(TopKeySnapshot(v, 2, {KI(v, 1.0, double(v))}));
+  }
+  // Retained: versions 30, 40, 50, 60 (10 and 20 evicted).
+  ShardSnapshot snap;
+  ASSERT_TRUE(publisher.ReadAsOf(1000, &snap));
+  EXPECT_EQ(snap.state_version, 60u);
+  ASSERT_TRUE(publisher.ReadAsOf(60, &snap));
+  EXPECT_EQ(snap.state_version, 60u);
+  ASSERT_TRUE(publisher.ReadAsOf(59, &snap));
+  EXPECT_EQ(snap.state_version, 50u);
+  ASSERT_TRUE(publisher.ReadAsOf(35, &snap));
+  EXPECT_EQ(snap.state_version, 30u);
+  EXPECT_EQ(snap.sample.entries[0].item.id, 30u);
+  // Exactly the oldest retained version is still servable...
+  ASSERT_TRUE(publisher.ReadAsOf(30, &snap));
+  EXPECT_EQ(snap.state_version, 30u);
+  // ...but one below it is history beyond the ring depth: eviction is a
+  // hard miss, never an approximation by a newer snapshot.
+  EXPECT_FALSE(publisher.ReadAsOf(29, &snap));
+  EXPECT_FALSE(publisher.ReadAsOf(0, &snap));
+}
+
+TEST(SnapshotRingTest, DefaultDepthDegeneratesToLatestOnly) {
+  SnapshotPublisher publisher;  // ring_depth = 1
+  EXPECT_EQ(publisher.ring_depth(), 1);
+  ShardSnapshot snap;
+  EXPECT_FALSE(publisher.ReadAsOf(100, &snap));
+  publisher.Publish(TopKeySnapshot(5, 2, {KI(1, 1.0, 1.0)}));
+  publisher.Publish(TopKeySnapshot(9, 2, {KI(2, 1.0, 2.0)}));
+  ASSERT_TRUE(publisher.ReadAsOf(9, &snap));
+  EXPECT_EQ(snap.state_version, 9u);
+  // Version 5 was the previous publish — already evicted at depth 1.
+  EXPECT_FALSE(publisher.ReadAsOf(8, &snap));
+}
+
+TEST(SnapshotRingTest, DegradedPublishesKeepVersionsNondecreasing) {
+  // Stale publishes freeze at the last clean version, so the ring can
+  // hold duplicate versions; ReadAsOf must pick the newest publish.
+  SnapshotPublisher publisher(/*ring_depth=*/4);
+  publisher.Publish(TopKeySnapshot(7, 2, {KI(1, 1.0, 5.0)}));
+  ShardSnapshot degraded = TopKeySnapshot(9, 2, {KI(2, 1.0, 1.0)});
+  degraded.stale = true;
+  publisher.Publish(degraded);
+  ShardSnapshot snap;
+  ASSERT_TRUE(publisher.ReadAsOf(7, &snap));
+  EXPECT_EQ(snap.state_version, 7u);
+  EXPECT_EQ(snap.publish_seq, 2u);  // the (frozen) stale republish
+  EXPECT_TRUE(snap.stale);          // the flag rides along — never silent
+}
+
+// The ring under contention: one writer rotating slots, readers doing
+// time-travel reads at random version bounds. Every returned copy must
+// be coherent (all fields from one publish) and satisfy its bound. Run
+// under TSan in CI.
+TEST(SnapshotRingTest, ConcurrentTimeTravelReadersSeeCoherentSnapshots) {
+  constexpr int kReaders = 4;
+  constexpr int kRingDepth = 8;
+  constexpr uint64_t kMinPublishes = 15000;
+  constexpr uint64_t kMinReadsEach = 50;
+  SnapshotPublisher publisher(kRingDepth);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> published_version{0};
+  std::vector<std::string> errors(kReaders);
+  std::vector<std::atomic<uint64_t>> reads(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&publisher, &stop, &errors, &reads,
+                          &published_version, r] {
+      Rng rng(1000 + static_cast<uint64_t>(r));
+      ShardSnapshot snap;
+      while (!stop.load(std::memory_order_acquire)) {
+        // Bound near the write frontier so hits and evictions both occur.
+        const uint64_t frontier =
+            published_version.load(std::memory_order_acquire);
+        const uint64_t bound =
+            frontier <= 1 ? 1 : frontier - rng.NextBounded(2 * kRingDepth);
+        if (!publisher.ReadAsOf(bound, &snap)) continue;
+        reads[static_cast<size_t>(r)].fetch_add(1,
+                                                std::memory_order_relaxed);
+        std::ostringstream err;
+        const uint64_t v = snap.state_version;
+        if (v > bound) err << "bound " << bound << " violated by " << v << "; ";
+        // Coherence: every field must come from the same publish.
+        if (snap.threshold != static_cast<double>(v) || snap.steps != 3 * v ||
+            snap.sample.state_version != v ||
+            snap.sample.entries.size() != 1 + (v % 3)) {
+          err << "torn snapshot at version " << v << "; ";
+        }
+        errors[static_cast<size_t>(r)] += err.str();
+      }
+    });
+  }
+
+  const auto slowest_reads = [&reads] {
+    uint64_t slowest = ~uint64_t{0};
+    for (const auto& r : reads) {
+      slowest = std::min(slowest, r.load(std::memory_order_relaxed));
+    }
+    return slowest;
+  };
+  for (uint64_t v = 1; v <= kMinPublishes || slowest_reads() < kMinReadsEach;
+       ++v) {
+    ShardSnapshot snap;
+    snap.state_version = v;
+    snap.threshold = static_cast<double>(v);
+    snap.steps = 3 * v;
+    snap.sample.kind = SampleKind::kTopKey;
+    snap.sample.target_size = 4;
+    snap.sample.state_version = v;
+    for (uint64_t e = 0; e < 1 + (v % 3); ++e) {
+      snap.sample.entries.push_back(KI(v, 1.0, static_cast<double>(2 * v - e)));
+    }
+    publisher.Publish(std::move(snap));
+    published_version.store(v, std::memory_order_release);
+    if (v % 64 == 0) std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_EQ(errors[static_cast<size_t>(r)], "") << " reader " << r;
+    EXPECT_GE(reads[static_cast<size_t>(r)].load(), kMinReadsEach)
+        << " reader " << r;
+  }
+}
+
+// ---------------------------------------------------------------------
 // QueryService merge semantics.
 
 TEST(QueryServiceTest, IncompleteUntilEveryShardPublishes) {
@@ -316,6 +451,223 @@ TEST(QueryServiceTest, EstimatorServesExactSumsBeforeSampleFills) {
   const ThresholdedSample full = service.EstimatorSample();
   EXPECT_DOUBLE_EQ(full.tau, 2.0);
   EXPECT_EQ(full.top.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// The root-merge cache.
+
+TEST(MergeCacheTest, HitsUntilAnyShardPublishes) {
+  SnapshotPublisher a, b;
+  a.Publish(TopKeySnapshot(1, 2, {KI(1, 1.0, 5.0)}));
+  b.Publish(TopKeySnapshot(1, 2, {KI(2, 1.0, 7.0)}));
+  QueryService service({&a, &b});
+
+  const auto first = service.QueryShared();
+  ASSERT_TRUE(first->complete);
+  EXPECT_EQ(Ids(first->merged.TopEntries()), (std::vector<uint64_t>{2, 1}));
+  const auto second = service.QueryShared();
+  // A hit serves the very same cached object — O(1), no re-merge, no
+  // per-shard snapshot copies.
+  EXPECT_EQ(first.get(), second.get());
+
+  auto stats = service.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_invalidations, 0u);
+  EXPECT_EQ(stats.snapshot_copies_avoided, 2u);  // hits * shards
+
+  // Any shard's publish invalidates: the next query re-merges.
+  b.Publish(TopKeySnapshot(2, 2, {KI(3, 1.0, 9.0)}));
+  const auto third = service.QueryShared();
+  EXPECT_NE(first.get(), third.get());
+  // Shard b's new snapshot replaced its old one: the merge now sees
+  // {3} from b and {1} from a.
+  EXPECT_EQ(Ids(third->merged.TopEntries()), (std::vector<uint64_t>{3, 1}));
+  stats = service.stats();
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_invalidations, 1u);
+
+  // The invalidated result a reader still holds stays valid and
+  // unchanged — invalidation swaps the cache, it never mutates a
+  // served entry.
+  EXPECT_EQ(Ids(first->merged.TopEntries()), (std::vector<uint64_t>{2, 1}));
+  EXPECT_EQ(first->shards[1].state_version, 1u);
+}
+
+TEST(MergeCacheTest, CachedAndUncachedAnswersAgree) {
+  SnapshotPublisher a, b;
+  a.Publish(TopKeySnapshot(3, 4, {KI(1, 2.0, 8.0), KI(4, 1.0, 2.0)}));
+  b.Publish(TopKeySnapshot(5, 4, {KI(2, 1.0, 7.0), KI(3, 3.0, 4.0)}));
+  QueryService service({&a, &b});
+  const QueryResult uncached = service.Query();
+  const auto cached = service.QueryShared();
+  EXPECT_EQ(Ids(cached->merged.TopEntries()),
+            Ids(uncached.merged.TopEntries()));
+  EXPECT_EQ(cached->complete, uncached.complete);
+  EXPECT_EQ(cached->steps, uncached.steps);
+  ASSERT_EQ(cached->shards.size(), uncached.shards.size());
+  for (size_t j = 0; j < cached->shards.size(); ++j) {
+    EXPECT_EQ(cached->shards[j].publish_seq, uncached.shards[j].publish_seq);
+    EXPECT_EQ(cached->shards[j].state_version,
+              uncached.shards[j].state_version);
+  }
+}
+
+// The invalidation race: publishes landing while concurrent readers
+// serve from and rebuild the cache. Every served result must be
+// coherent (all fields of each shard's slice from one publish, the key
+// vector matching the slices) and per-reader monotone. Run under TSan
+// in CI — this is the torn-sequence-vector check.
+TEST(MergeCacheTest, ConcurrentCachedReadersDuringPublishes) {
+  constexpr int kReaders = 4;
+  constexpr int kShards = 2;
+  constexpr uint64_t kMinPublishes = 15000;
+  constexpr uint64_t kMinReadsEach = 50;
+  SnapshotPublisher publishers[kShards];
+  QueryService service({&publishers[0], &publishers[1]});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::string> errors(kReaders);
+  std::vector<std::atomic<uint64_t>> reads(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&service, &stop, &errors, &reads, r] {
+      std::vector<uint64_t> last_seq(kShards, 0);
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto result = service.QueryShared();
+        if (!result->complete) continue;
+        reads[static_cast<size_t>(r)].fetch_add(1,
+                                                std::memory_order_relaxed);
+        std::ostringstream err;
+        for (int j = 0; j < kShards; ++j) {
+          const ShardSnapshot& snap = result->shards[static_cast<size_t>(j)];
+          const uint64_t v = snap.state_version;
+          // Per-slice coherence (same self-consistent stamps as the
+          // publisher stress tests).
+          if (snap.threshold != static_cast<double>(v) ||
+              snap.steps != 3 * v + static_cast<uint64_t>(j) ||
+              snap.sample.state_version != v) {
+            err << "torn shard " << j << " slice at version " << v << "; ";
+          }
+          if (snap.publish_seq < last_seq[static_cast<size_t>(j)]) {
+            err << "shard " << j << " publish_seq regressed; ";
+          }
+          last_seq[static_cast<size_t>(j)] = snap.publish_seq;
+        }
+        errors[static_cast<size_t>(r)] += err.str();
+      }
+    });
+  }
+
+  const auto slowest_reads = [&reads] {
+    uint64_t slowest = ~uint64_t{0};
+    for (const auto& r : reads) {
+      slowest = std::min(slowest, r.load(std::memory_order_relaxed));
+    }
+    return slowest;
+  };
+  Rng rng(4242);
+  for (uint64_t v = 1; v <= kMinPublishes || slowest_reads() < kMinReadsEach;
+       ++v) {
+    // Publish to a random shard so the cache key vector advances
+    // unevenly — the torn-vector hazard the double check must kill.
+    const int j = static_cast<int>(rng.NextBounded(kShards));
+    ShardSnapshot snap;
+    snap.state_version = v;
+    snap.threshold = static_cast<double>(v);
+    snap.steps = 3 * v + static_cast<uint64_t>(j);
+    snap.sample.kind = SampleKind::kTopKey;
+    snap.sample.target_size = 4;
+    snap.sample.state_version = v;
+    snap.sample.entries.push_back(KI(v, 1.0, static_cast<double>(v)));
+    publishers[j].Publish(std::move(snap));
+    if (v % 64 == 0) std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_EQ(errors[static_cast<size_t>(r)], "") << " reader " << r;
+    EXPECT_GE(reads[static_cast<size_t>(r)].load(), kMinReadsEach)
+        << " reader " << r;
+  }
+  const auto stats = service.stats();
+  EXPECT_GT(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.snapshot_copies_avoided, stats.cache_hits * kShards);
+}
+
+// ---------------------------------------------------------------------
+// Freshness SLOs.
+
+TEST(FreshnessSloTest, AlreadyFreshServesWithoutWaiting) {
+  SnapshotPublisher publisher;
+  publisher.Publish(TopKeySnapshot(10, 2, {KI(1, 1.0, 5.0)}));
+  QueryService service({&publisher});
+  query::QueryOptions options;
+  options.min_version = 10;
+  options.max_staleness = std::chrono::seconds(10);
+  const QueryResult result = service.Query(options);
+  EXPECT_TRUE(result.version_satisfied);
+  EXPECT_TRUE(result.lagging_shards.empty());
+  EXPECT_EQ(result.shards[0].state_version, 10u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.slo_waits, 0u);
+  EXPECT_EQ(stats.slo_timeouts, 0u);
+}
+
+TEST(FreshnessSloTest, TimeoutServesFlaggedNotStaleMerged) {
+  SnapshotPublisher a, b;
+  a.Publish(TopKeySnapshot(5, 2, {KI(1, 1.0, 5.0)}));
+  b.Publish(TopKeySnapshot(50, 2, {KI(2, 1.0, 7.0)}));
+  QueryService service({&a, &b});
+  query::QueryOptions options;
+  options.min_version = 50;  // shard 0 will never get there
+  options.max_staleness = std::chrono::milliseconds(20);
+  const QueryResult result = service.Query(options);
+  // Served, flagged, with the lagging shard listed — and the merged
+  // content is the real current state, not silently dropped or frozen.
+  EXPECT_FALSE(result.version_satisfied);
+  EXPECT_EQ(result.lagging_shards, std::vector<int>{0});
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.any_stale);  // SLO lag is not fault staleness
+  EXPECT_EQ(Ids(result.merged.TopEntries()), (std::vector<uint64_t>{2, 1}));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.slo_waits, 1u);
+  EXPECT_EQ(stats.slo_timeouts, 1u);
+}
+
+TEST(FreshnessSloTest, WaitIsSatisfiedByConcurrentPublish) {
+  SnapshotPublisher publisher;
+  publisher.Publish(TopKeySnapshot(1, 2, {KI(1, 1.0, 5.0)}));
+  QueryService service({&publisher});
+  std::thread writer([&publisher] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    publisher.Publish(TopKeySnapshot(7, 2, {KI(2, 1.0, 9.0)}));
+  });
+  query::QueryOptions options;
+  options.min_version = 7;
+  options.max_staleness = std::chrono::seconds(30);
+  const QueryResult result = service.Query(options);
+  writer.join();
+  EXPECT_TRUE(result.version_satisfied);
+  EXPECT_TRUE(result.lagging_shards.empty());
+  EXPECT_GE(result.shards[0].state_version, 7u);
+  // The version-7 publish replaced the shard's snapshot wholesale.
+  EXPECT_EQ(Ids(result.merged.TopEntries()), std::vector<uint64_t>{2});
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.slo_waits, 1u);
+  EXPECT_EQ(stats.slo_timeouts, 0u);
+}
+
+TEST(FreshnessSloTest, WaitForStateVersionDirectly) {
+  SnapshotPublisher publisher;
+  publisher.Publish(TopKeySnapshot(3, 2, {KI(1, 1.0, 5.0)}));
+  EXPECT_TRUE(publisher.WaitForStateVersion(3, std::chrono::nanoseconds(0)));
+  EXPECT_FALSE(
+      publisher.WaitForStateVersion(4, std::chrono::milliseconds(5)));
+  publisher.Publish(TopKeySnapshot(4, 2, {KI(2, 1.0, 6.0)}));
+  EXPECT_TRUE(publisher.WaitForStateVersion(4, std::chrono::nanoseconds(0)));
 }
 
 // ---------------------------------------------------------------------
@@ -608,6 +960,79 @@ TEST(LiveQueryEquivalenceTest, EngineStepSyncMatchesSimReference) {
     }
   });
   EXPECT_EQ(mismatches, 0u);
+  eng.Shutdown();
+}
+
+// Time-travel bit-identity: after a full engine run with a ring deep
+// enough to retain every publish, ReadAsOf at each step-boundary state
+// version must reproduce the simulator reference's snapshot for that
+// step bit for bit — the engine's per-message publication history
+// contains the reference's per-step history as a subsequence, and the
+// as-of read finds exactly the right element of it.
+TEST(LiveQueryEquivalenceTest, RingAsOfMatchesSimReferenceAtStepBoundaries) {
+  const int k = 4, shards = 2;
+  const WsworConfig config{.num_sites = k, .sample_size = 8, .seed = 131};
+  const Workload w = ZipfWorkload(k, 800, /*seed=*/47);
+
+  // Reference transcript: simulator backend, per-step publication.
+  sim::ShardedRuntime runtime(k, shards);
+  const ShardedWsworEndpoints sim_endpoints =
+      AttachShardedWswor(config, runtime);
+  LiveShardPublishers sim_publishers(shards);
+  query::PublishWsworSnapshots(runtime, sim_endpoints, sim_publishers);
+  QueryService sim_service(sim_publishers.views());
+  std::vector<QueryResult> reference;
+  reference.reserve(w.size());
+  runtime.Run(w, [&](uint64_t) {
+    query::PublishWsworSnapshots(runtime, sim_endpoints, sim_publishers);
+    reference.push_back(sim_service.Query());
+  });
+
+  // Engine run, step-synchronous, with an evict-nothing ring.
+  ShardedEngineConfig engine_config;
+  engine_config.num_sites = k;
+  engine_config.num_shards = shards;
+  ShardedEngine eng(engine_config);
+  const ShardedWsworEndpoints eng_endpoints = AttachShardedWswor(config, eng);
+  const std::unique_ptr<LiveShardPublishers> eng_publishers =
+      query::EnableWsworLiveQueries(eng, eng_endpoints,
+                                    /*ring_depth=*/1 << 14);
+  eng.Run(w, [](uint64_t) {});  // on_step forces step-synchronous mode
+
+  for (int j = 0; j < shards; ++j) {
+    ASSERT_LE(eng_publishers->shard(j).publish_count(), uint64_t{1} << 14)
+        << " ring too shallow for this run; test premise broken";
+  }
+  for (size_t step = 0; step < reference.size(); ++step) {
+    for (int j = 0; j < shards; ++j) {
+      const ShardSnapshot& ref = reference[step].shards[static_cast<size_t>(j)];
+      ShardSnapshot live;
+      ASSERT_TRUE(
+          eng_publishers->shard(j).ReadAsOf(ref.state_version, &live))
+          << " step " << step + 1 << " shard " << j;
+      EXPECT_EQ(live.state_version, ref.state_version)
+          << " step " << step + 1 << " shard " << j;
+      EXPECT_EQ(live.steps, ref.steps) << " step " << step + 1;
+      EXPECT_EQ(live.threshold, ref.threshold) << " step " << step + 1;
+      EXPECT_EQ(live.session_epoch, ref.session_epoch) << " step " << step + 1;
+      EXPECT_EQ(live.messages.site_to_coord, ref.messages.site_to_coord)
+          << " step " << step + 1;
+      EXPECT_EQ(live.messages.coord_to_site, ref.messages.coord_to_site)
+          << " step " << step + 1;
+      EXPECT_EQ(live.messages.words, ref.messages.words) << " step "
+                                                         << step + 1;
+      const std::vector<KeyedItem> la = live.sample.TopEntries();
+      const std::vector<KeyedItem> lb = ref.sample.TopEntries();
+      ASSERT_EQ(la.size(), lb.size()) << " step " << step + 1 << " shard "
+                                      << j;
+      for (size_t i = 0; i < la.size(); ++i) {
+        EXPECT_EQ(la[i].item.id, lb[i].item.id)
+            << " step " << step + 1 << " shard " << j << " position " << i;
+        EXPECT_EQ(la[i].key, lb[i].key)
+            << " step " << step + 1 << " shard " << j << " position " << i;
+      }
+    }
+  }
   eng.Shutdown();
 }
 

@@ -21,6 +21,7 @@ Baseline schema (bench/baseline.json):
           "max_drop": 0.6,                          # optional override
           "max_rise": 3.0,                          # optional, lower fields
           "reference": {<key fields of one row>},   # optional, see below
+          "references": {"<field>": {<key fields>}},  # per-field override
           "reference_max_drop": 0.75,               # optional
           "rows": [ {<key fields + gate fields>}, ... ]
         }
@@ -55,10 +56,21 @@ runner is noisier than throughput, so max_rise defaults to a wide 3.0 —
 the gate exists to catch order-of-magnitude cliffs (a lock added to the
 query path), not jitter. Normalization does not apply to lower fields.
 
+Per-field references ("references"): a bench can name a different
+normalization row per gated field — queries_per_sec rows divide by the
+in-run single-reader uncached query row while items_per_sec rows keep
+dividing by the single-thread simulator run. Fields not in the map fall
+back to the bench-level "reference"; a field its reference row does not
+carry is gated absolutely.
+
 Rows are matched on the exact values of key_fields; a baseline row with
-no matching current row is an error (a silently vanished measurement is
-itself a regression). Current rows absent from the baseline are reported
-but do not fail the gate — run --update after intentionally adding rows
+no matching current row is a HARD error (a silently vanished
+measurement is itself a regression), as are a missing BENCH_*.json file
+and a gated field absent from a current row. --allow-missing downgrades
+all three to informational notes — the escape hatch for intentionally
+restricted local runs (e.g. a bench filtered by --shards); CI runs
+without it. Current rows absent from the baseline are reported but do
+not fail the gate — run --update after intentionally adding rows
 (--update stores RAW values; normalization is applied at check time).
 --update --merge=min keeps the smaller of the stored and measured value
 per gated field, so repeated update runs converge on a conservative
@@ -96,44 +108,72 @@ def index_rows(rows, key_fields):
 
 
 def reference_values(name, spec, base, current, failures):
-    """Returns (ref_key, {field: (base_ref, cur_ref)}) or (None, {})."""
-    if "reference" not in spec:
-        return None, {}
-    ref_key = row_key(spec["reference"], spec["key_fields"])
-    base_ref = base.get(ref_key)
-    cur_ref = current.get(ref_key)
-    if base_ref is None or cur_ref is None:
-        failures.append(f"{name}: reference row [{fmt_key(ref_key)}] missing "
-                        f"from {'baseline' if base_ref is None else 'run'} — "
-                        "cannot normalize")
-        return None, {}
+    """Returns {field: (ref_key, base_ref_value, cur_ref_value)}.
+
+    A bench names its normalization rows via the bench-level "reference"
+    (one row for every gated field) and/or the per-field "references"
+    map, which overrides the bench-level row for the fields it names —
+    e.g. queries_per_sec normalizes against the in-run single-reader
+    uncached row while items_per_sec keeps the single-thread simulator
+    reference. A field whose reference row does not carry the field is
+    simply not normalized (absolute gate only).
+    """
+    per_field = spec.get("references", {})
     refs = {}
+    reported = set()
     for field in spec["gate_fields"]:
+        ref_spec = per_field.get(field, spec.get("reference"))
+        if ref_spec is None:
+            continue
+        ref_key = row_key(ref_spec, spec["key_fields"])
+        base_ref = base.get(ref_key)
+        cur_ref = current.get(ref_key)
+        if base_ref is None or cur_ref is None:
+            if ref_key not in reported:
+                reported.add(ref_key)
+                failures.append(
+                    f"{name}: reference row [{fmt_key(ref_key)}] missing "
+                    f"from {'baseline' if base_ref is None else 'run'} — "
+                    "cannot normalize")
+            continue
         bv, cv = base_ref.get(field), cur_ref.get(field)
         if bv and cv:
-            refs[field] = (bv, cv)
-    return ref_key, refs
+            refs[field] = (ref_key, bv, cv)
+    return refs
 
 
-def check(baseline, build_dir):
+def check(baseline, build_dir, allow_missing=False):
     failures = []
     notes = []
+
+    def missing(msg):
+        # --allow-missing: a vanished bench file / row / field is reported
+        # but does not fail the gate (escape hatch for intentionally
+        # restricted runs, e.g. a bench binary filtered by --shards).
+        if allow_missing:
+            notes.append("skip  " + msg)
+        else:
+            failures.append(msg)
+
     for name, spec in baseline["benches"].items():
         max_drop = float(spec.get("max_drop", baseline.get("max_drop", 0.25)))
         ref_max_drop = float(spec.get("reference_max_drop", 0.75))
         max_rise = float(spec.get("max_rise", baseline.get("max_rise", 3.0)))
         path = os.path.join(build_dir, f"BENCH_{name}.json")
         if not os.path.exists(path):
-            failures.append(f"{name}: {path} not found — bench did not run")
+            missing(f"{name}: {path} not found — bench did not run")
             continue
         current = index_rows(load_json(path)["rows"], spec["key_fields"])
         base = index_rows(spec["rows"], spec["key_fields"])
-        ref_key, refs = reference_values(name, spec, base, current, failures)
+        ref_failures = []
+        refs = reference_values(name, spec, base, current, ref_failures)
+        for msg in ref_failures:
+            missing(msg)
         for key, base_row in base.items():
             cur_row = current.get(key)
             if cur_row is None:
-                failures.append(f"{name}: row [{fmt_key(key)}] missing "
-                                "from current run")
+                missing(f"{name}: row [{fmt_key(key)}] missing "
+                        "from current run")
                 continue
             for field in spec["gate_fields"]:
                 base_value = base_row.get(field)
@@ -141,13 +181,13 @@ def check(baseline, build_dir):
                 if base_value is None:
                     continue
                 if cur_value is None:
-                    failures.append(f"{name}: [{fmt_key(key)}] {field} "
-                                    "missing from current run")
+                    missing(f"{name}: [{fmt_key(key)}] {field} "
+                            "missing from current run")
                     continue
                 abs_ok = cur_value >= base_value * (1.0 - max_drop)
                 abs_ratio = (cur_value / base_value if base_value
                              else float("inf"))
-                if key == ref_key:
+                if field in refs and key == refs[field][0]:
                     # The reference itself: absolute gate, wide band —
                     # catches whole-build cliffs only.
                     ok = cur_value >= base_value * (1.0 - ref_max_drop)
@@ -162,7 +202,7 @@ def check(baseline, build_dir):
                     # via the ratio, a runner whose core count reshapes
                     # the engine/sim ratio passes via the absolute
                     # number, and a real regression fails both.
-                    base_ref, cur_ref = refs[field]
+                    _, base_ref, cur_ref = refs[field]
                     norm_base = base_value / base_ref
                     norm_cur = cur_value / cur_ref
                     norm_ok = norm_cur >= norm_base * (1.0 - max_drop)
@@ -186,8 +226,8 @@ def check(baseline, build_dir):
                 if base_value is None:
                     continue
                 if cur_value is None:
-                    failures.append(f"{name}: [{fmt_key(key)}] {field} "
-                                    "missing from current run")
+                    missing(f"{name}: [{fmt_key(key)}] {field} "
+                            "missing from current run")
                     continue
                 # Lower is better: absolute ceiling only (latency is too
                 # noisy for ratio normalization to help).
@@ -261,6 +301,11 @@ def main():
                         help="with --update: 'min' keeps the smaller of "
                              "stored and measured per gated field "
                              "(conservative floor over repeated runs)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="report missing bench files / rows / gated "
+                             "fields instead of failing on them (for "
+                             "intentionally restricted local runs; CI "
+                             "must not pass this)")
     args = parser.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -277,7 +322,8 @@ def main():
         update(baseline, args.build_dir, baseline_path, args.merge)
         return 0
 
-    failures, notes = check(baseline, args.build_dir)
+    failures, notes = check(baseline, args.build_dir,
+                            allow_missing=args.allow_missing)
     for line in notes:
         print(line)
     for line in failures:

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench regression gate (tools/check_bench.py).
+
+The gate is itself CI-critical — a bug that silently skips a row would
+un-gate a real regression — so the tool's row-matching, tolerance,
+normalization and merge logic get the same treatment as library code.
+Run directly or from the bench-quick CI job:
+
+    python3 tools/check_bench_test.py
+"""
+
+import copy
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench", os.path.join(_HERE, "check_bench.py"))
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+def make_baseline():
+    """A two-field bench shaped like engine_throughput: items_per_sec
+    normalized by a sim reference, queries_per_sec by a per-field
+    reference, query_us_mean gated lower-is-better on one row only."""
+    return {
+        "max_drop": 0.25,
+        "benches": {
+            "demo": {
+                "key_fields": ["workload", "backend"],
+                "gate_fields": ["items_per_sec", "queries_per_sec"],
+                "gate_fields_lower": ["query_us_mean"],
+                "max_drop": 0.5,
+                "max_rise": 3.0,
+                "reference": {"workload": "zipf", "backend": "sim"},
+                "references": {
+                    "queries_per_sec": {"workload": "qs_r1",
+                                        "backend": "sharded"},
+                },
+                "rows": [
+                    {"workload": "zipf", "backend": "sim",
+                     "items_per_sec": 1000.0},
+                    {"workload": "zipf", "backend": "engine",
+                     "items_per_sec": 2000.0},
+                    {"workload": "qs_r1", "backend": "sharded",
+                     "queries_per_sec": 100.0},
+                    {"workload": "qs_r8", "backend": "sharded",
+                     "queries_per_sec": 800.0, "query_us_mean": 2.0},
+                ],
+            }
+        },
+    }
+
+
+def current_rows_matching(baseline):
+    return copy.deepcopy(baseline["benches"]["demo"]["rows"])
+
+
+class CheckBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.build_dir = self._tmp.name
+        self.addCleanup(self._tmp.cleanup)
+
+    def write_bench(self, rows, name="demo"):
+        path = os.path.join(self.build_dir, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"name": name, "rows": rows}, f)
+
+    def check(self, baseline, allow_missing=False):
+        return check_bench.check(baseline, self.build_dir,
+                                 allow_missing=allow_missing)
+
+    def test_identical_run_passes(self):
+        baseline = make_baseline()
+        self.write_bench(current_rows_matching(baseline))
+        failures, notes = self.check(baseline)
+        self.assertEqual(failures, [])
+        # Every gated (row, field) pair produced a note.
+        self.assertTrue(any("qs_r8" in n for n in notes))
+
+    def test_missing_row_is_hard_failure(self):
+        baseline = make_baseline()
+        rows = [r for r in current_rows_matching(baseline)
+                if r["workload"] != "qs_r8"]
+        self.write_bench(rows)
+        failures, _ = self.check(baseline)
+        self.assertTrue(any("qs_r8" in f and "missing" in f
+                            for f in failures), failures)
+
+    def test_allow_missing_downgrades_missing_row(self):
+        baseline = make_baseline()
+        rows = [r for r in current_rows_matching(baseline)
+                if r["workload"] != "qs_r8"]
+        self.write_bench(rows)
+        failures, notes = self.check(baseline, allow_missing=True)
+        self.assertEqual(failures, [])
+        self.assertTrue(any(n.startswith("skip") and "qs_r8" in n
+                            for n in notes), notes)
+
+    def test_missing_bench_file_fails_unless_allowed(self):
+        baseline = make_baseline()  # no BENCH_demo.json written
+        failures, _ = self.check(baseline)
+        self.assertTrue(any("did not run" in f for f in failures), failures)
+        failures, notes = self.check(baseline, allow_missing=True)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("did not run" in n for n in notes), notes)
+
+    def test_missing_gated_field_fails_unless_allowed(self):
+        baseline = make_baseline()
+        rows = current_rows_matching(baseline)
+        del rows[3]["queries_per_sec"]
+        self.write_bench(rows)
+        failures, _ = self.check(baseline)
+        self.assertTrue(any("queries_per_sec" in f and "missing" in f
+                            for f in failures), failures)
+        failures, _ = self.check(baseline, allow_missing=True)
+        self.assertEqual(failures, [])
+
+    def test_drop_beyond_tolerance_fails(self):
+        baseline = make_baseline()
+        rows = current_rows_matching(baseline)
+        rows[3]["queries_per_sec"] = 100.0  # 8x drop, reference unchanged
+        self.write_bench(rows)
+        failures, _ = self.check(baseline)
+        self.assertTrue(any(f.startswith("DROP") and "qs_r8" in f
+                            for f in failures), failures)
+
+    def test_lower_field_rise_beyond_tolerance_fails(self):
+        baseline = make_baseline()
+        rows = current_rows_matching(baseline)
+        rows[3]["query_us_mean"] = 9.0  # 4.5x rise > 1 + max_rise
+        self.write_bench(rows)
+        failures, _ = self.check(baseline)
+        self.assertTrue(any(f.startswith("RISE") for f in failures),
+                        failures)
+        rows[3]["query_us_mean"] = 7.9  # just under the 8.0 ceiling
+        self.write_bench(rows)
+        failures, _ = self.check(baseline)
+        self.assertEqual(failures, [])
+
+    def test_uniform_slowdown_passes_via_per_field_reference(self):
+        # Halve every row: absolutely each is at the 0.5 edge of failing,
+        # but both the items_per_sec reference (sim) and the per-field
+        # queries_per_sec reference (qs_r1) halve too, so the normalized
+        # ratios are exactly 1.0 and the machine-speed change cancels.
+        baseline = make_baseline()
+        rows = current_rows_matching(baseline)
+        for row in rows:
+            for field in ("items_per_sec", "queries_per_sec"):
+                if field in row:
+                    row[field] *= 0.45
+        self.write_bench(rows)
+        failures, _ = self.check(baseline)
+        self.assertEqual(failures, [])
+
+    def test_reference_row_regression_still_caught(self):
+        # Only the per-field reference row collapses: it is gated
+        # absolutely (wide band), so a 100x cliff on it still fails.
+        baseline = make_baseline()
+        rows = current_rows_matching(baseline)
+        rows[2]["queries_per_sec"] = 1.0
+        self.write_bench(rows)
+        failures, _ = self.check(baseline)
+        self.assertTrue(any("qs_r1" in f for f in failures), failures)
+
+    def test_update_merge_min_keeps_conservative_bounds(self):
+        baseline = make_baseline()
+        rows = current_rows_matching(baseline)
+        rows[3]["queries_per_sec"] = 600.0  # slower than stored 800
+        rows[3]["query_us_mean"] = 3.5      # slower than stored 2.0
+        rows[1]["items_per_sec"] = 5000.0   # faster than stored 2000
+        self.write_bench(rows)
+        baseline_path = os.path.join(self.build_dir, "baseline.json")
+        check_bench.update(baseline, self.build_dir, baseline_path,
+                           merge="min")
+        written = check_bench.load_json(baseline_path)
+        by_key = {(r["workload"], r["backend"]): r
+                  for r in written["benches"]["demo"]["rows"]}
+        self.assertEqual(by_key[("qs_r8", "sharded")]["queries_per_sec"],
+                         600.0)
+        self.assertEqual(by_key[("qs_r8", "sharded")]["query_us_mean"], 3.5)
+        # min-merge keeps the smaller stored throughput, not the faster
+        # measurement.
+        self.assertEqual(by_key[("zipf", "engine")]["items_per_sec"], 2000.0)
+
+    def test_update_adds_new_rows(self):
+        baseline = make_baseline()
+        rows = current_rows_matching(baseline)
+        rows.append({"workload": "qs_r4", "backend": "sharded",
+                     "queries_per_sec": 400.0, "messages": 123})
+        self.write_bench(rows)
+        baseline_path = os.path.join(self.build_dir, "baseline.json")
+        check_bench.update(baseline, self.build_dir, baseline_path)
+        written = check_bench.load_json(baseline_path)
+        by_key = {r["workload"]: r
+                  for r in written["benches"]["demo"]["rows"]}
+        self.assertIn("qs_r4", by_key)
+        # Only key + gated fields are stored, not incidental ones.
+        self.assertNotIn("messages", by_key["qs_r4"])
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())
