@@ -125,6 +125,19 @@ class Engine : public sim::Transport {
   void Run(const Workload& workload,
            const std::function<void(uint64_t)>& on_step = nullptr);
 
+  // Runs the workload under an externally materialized arrival schedule
+  // (stream/dynamics.h): round r feeds the next batches[r] events in
+  // arrival order, so bursty/diurnal scenarios drive the ingestion queues
+  // at their modeled rates instead of one steady drip. `batches` must sum
+  // to workload.size(). If `on_round` is set the engine quiesces at each
+  // round boundary and invokes it with the 1-based prefix length (items
+  // fed so far). With config().step_synchronous the engine quiesces after
+  // every event — the pacing then changes nothing observable and the run
+  // is bit-identical to Run() and to the simulator, which is what lets
+  // paced scenario cells be replayed exactly for the envelope gate.
+  void RunPaced(const Workload& workload, const std::vector<uint32_t>& batches,
+                const std::function<void(uint64_t)>& on_round = nullptr);
+
   // Stops and joins all worker threads (idempotent; the destructor calls
   // it). Pending un-flushed work may be dropped; call Flush() first for a
   // clean end of stream.

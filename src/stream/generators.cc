@@ -2,11 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "util/check.h"
 #include "util/math_util.h"
 
 namespace dwrs {
+
+double ZipfNormalization(uint64_t n, double alpha) {
+  DWRS_CHECK_GE(n, 1u);
+  DWRS_CHECK_GT(alpha, 0.0);
+  static std::mutex mu;
+  static std::map<std::pair<uint64_t, double>, double> cache;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find({n, alpha});
+    if (it != cache.end()) return it->second;
+  }
+  // Sum small-to-large terms first (i descending) for fp accuracy.
+  double h = 0.0;
+  for (uint64_t i = n; i >= 1; --i) {
+    h += std::pow(static_cast<double>(i), -alpha);
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  cache.emplace(std::make_pair(n, alpha), h);
+  return h;
+}
 
 ConstantWeights::ConstantWeights(double value) : value_(value) {
   DWRS_CHECK_GE(value, 1.0);
@@ -27,12 +50,18 @@ double UniformWeights::WeightAt(uint64_t /*index*/, Rng& rng) {
 
 ZipfWeights::ZipfWeights(uint64_t num_ranks, double alpha)
     : zipf_(num_ranks, alpha),
-      scale_(std::pow(static_cast<double>(num_ranks), alpha)) {}
+      scale_(std::pow(static_cast<double>(num_ranks), alpha)),
+      normalization_(ZipfNormalization(num_ranks, alpha)) {}
 
 double ZipfWeights::WeightAt(uint64_t /*index*/, Rng& rng) {
   const uint64_t rank = zipf_.Next(rng);
   // rank^-alpha scaled so the smallest possible weight is exactly 1.
   return scale_ * std::pow(static_cast<double>(rank), -zipf_.alpha());
+}
+
+double ZipfWeights::RankProbability(uint64_t rank) const {
+  DWRS_CHECK(rank >= 1 && rank <= zipf_.n());
+  return std::pow(static_cast<double>(rank), -zipf_.alpha()) / normalization_;
 }
 
 ParetoWeights::ParetoWeights(double alpha) : alpha_(alpha) {

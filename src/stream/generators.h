@@ -45,6 +45,12 @@ class UniformWeights : public WeightGenerator {
   double hi_;
 };
 
+// Generalized harmonic number H_{n,alpha} = sum_{i=1..n} i^-alpha — the
+// normalization constant of a Zipf(alpha) law over ranks 1..n. Memoized
+// per (n, alpha): scenario sweeps construct many generators/partitioners
+// over the same rank space, and the sum is O(n) to evaluate.
+double ZipfNormalization(uint64_t n, double alpha);
+
 // Weight = rank^-alpha scaled so the minimum weight is >= 1, rank drawn
 // Zipf(alpha) over [1, num_ranks]. Models skewed query / flow streams.
 class ZipfWeights : public WeightGenerator {
@@ -52,9 +58,17 @@ class ZipfWeights : public WeightGenerator {
   ZipfWeights(uint64_t num_ranks, double alpha);
   double WeightAt(uint64_t index, Rng& rng) override;
 
+  // H_{num_ranks, alpha}: the exact normalization of the rank law.
+  double normalization() const { return normalization_; }
+  // P(rank drawn = rank) = rank^-alpha / H_{num_ranks, alpha}; the exact
+  // per-rank probabilities backing the distribution tests and the
+  // skewed-site ownership fractions.
+  double RankProbability(uint64_t rank) const;
+
  private:
   ZipfSampler zipf_;
   double scale_;
+  double normalization_;
 };
 
 // Pareto(alpha, minimum 1): heavy-tailed weights.

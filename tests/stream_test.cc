@@ -39,6 +39,71 @@ TEST(GeneratorsTest, ZipfWeightsAtLeastOne) {
   EXPECT_GT(max_w, 1000.0);
 }
 
+TEST(GeneratorsTest, ZipfNormalizationGoldenValues) {
+  // H_{1000, 0.99} and the resulting rank probabilities, computed with
+  // 30-digit decimal arithmetic; pins both the memoized free function
+  // and the generator's exposed normalization against each other.
+  ZipfWeights gen(1000, 0.99);
+  EXPECT_NEAR(gen.normalization(), 7.7289532172847384, 1e-12);
+  EXPECT_DOUBLE_EQ(gen.normalization(), ZipfNormalization(1000, 0.99));
+  EXPECT_NEAR(gen.RankProbability(1), 0.12938362697857167, 1e-13);
+  EXPECT_NEAR(gen.RankProbability(2), 0.065141780636270481, 1e-13);
+  EXPECT_NEAR(gen.RankProbability(10), 0.013239735880303951, 1e-13);
+  double total = 0.0;
+  for (uint64_t rank = 1; rank <= 1000; ++rank) {
+    total += gen.RankProbability(rank);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(GeneratorsTest, ZipfNormalizationMemoizedStable) {
+  const double first = ZipfNormalization(500, 1.1);
+  EXPECT_DOUBLE_EQ(ZipfNormalization(500, 1.1), first);  // cached
+  EXPECT_NE(ZipfNormalization(500, 0.9), first);         // distinct key
+  EXPECT_NE(ZipfNormalization(400, 1.1), first);
+}
+
+TEST(GeneratorsTest, SelfSimilarBModelMassFractions) {
+  // levels=3, bias=0.7: weights over an aligned 8-window are the b-model
+  // product measure, so each bit-half splits the window's mass 70/30.
+  SelfSimilarWeights gen(0.7, 3);
+  Rng rng(15);
+  double total = 0.0;
+  std::vector<double> w(8);
+  for (uint64_t i = 0; i < 8; ++i) {
+    w[i] = gen.WeightAt(i, rng);
+    total += w[i];
+  }
+  for (int bit = 0; bit < 3; ++bit) {
+    double one_half = 0.0;
+    for (uint64_t i = 0; i < 8; ++i) {
+      if ((i >> bit) & 1) one_half += w[i];
+    }
+    EXPECT_NEAR(one_half / total, 0.7, 1e-12) << " bit " << bit;
+  }
+  // Normalized so the minimum weight (all zero-bits) is exactly 1, and
+  // deterministic: the rng is never consumed.
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(*std::min_element(w.begin(), w.end()), 1.0);
+  Rng rng2(99);
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(gen.WeightAt(i, rng2), w[i]);
+  }
+}
+
+TEST(GeneratorsTest, SelfSimilarDynamicRangeGrowsWithLevels) {
+  SelfSimilarWeights gen(0.7, 16);
+  Rng rng(16);
+  // max/min = (bias / (1-bias))^levels = (7/3)^16.
+  const double expected = std::pow(0.7 / 0.3, 16);
+  EXPECT_NEAR(gen.WeightAt((1u << 16) - 1, rng), expected,
+              1e-6 * expected);
+  // Bursty at every scale: the heavy item of each aligned 2-window is
+  // its odd position.
+  EXPECT_GT(gen.WeightAt(3, rng), gen.WeightAt(2, rng));
+  EXPECT_GT(gen.WeightAt(257, rng), gen.WeightAt(256, rng));
+}
+
 TEST(GeneratorsTest, ParetoHeavyTail) {
   ParetoWeights gen(1.5);
   Rng rng(4);
@@ -139,6 +204,39 @@ TEST(PartitionersTest, SingleSite) {
   SingleSitePartitioner p(2);
   Rng rng(13);
   for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(p.SiteFor(i, 4, rng), 2);
+}
+
+TEST(PartitionersTest, AdversarialPinsToSiteZeroByDefault) {
+  AdversarialPartitioner p;
+  Rng rng(18);
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_EQ(p.SiteFor(i, 8, rng), 0);
+}
+
+TEST(PartitionersTest, AdversarialHotSiteHopsAndOwnsEvenly) {
+  AdversarialPartitioner p(/*hop_every=*/97);
+  Rng rng(19);
+  const int k = 8;
+  std::vector<uint64_t> owned(k, 0);
+  int previous = 0;
+  int hops = 0;
+  for (uint64_t i = 0; i < 97ull * 8 * 3; ++i) {
+    const int site = p.SiteFor(i, k, rng);
+    ASSERT_GE(site, 0);
+    ASSERT_LT(site, k);
+    ++owned[static_cast<size_t>(site)];
+    if (site != previous) {
+      ++hops;
+      EXPECT_EQ(i % 97, 0u) << " hop off-boundary at " << i;
+      EXPECT_EQ(site, (previous + 1) % k) << " at " << i;
+      previous = site;
+    }
+  }
+  // Exactly one hot site at a time, sweeping all workers: over whole
+  // cycles every site owns the same 97-item share.
+  EXPECT_EQ(hops, 8 * 3 - 1);
+  for (int site = 0; site < k; ++site) {
+    EXPECT_EQ(owned[static_cast<size_t>(site)], 97u * 3) << " site " << site;
+  }
 }
 
 TEST(PartitionersTest, Blocks) {

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Scenario-matrix envelope gate.
+
+Compares the BENCH_scenarios.json rows emitted by `bench_scenarios
+--quick` against the committed bench/envelopes.json and fails (exit 1)
+when any protocol x scenario x backend cell drifts outside its envelope.
+Run from CI after the scenario-matrix job, or locally:
+
+    python3 tools/check_envelopes.py --build-dir build
+    python3 tools/check_envelopes.py --build-dir build --update
+
+Rows are keyed on (scenario, protocol, backend). An envelope row with no
+matching current row is a HARD failure — a silently vanished matrix cell
+is itself a regression — and so is a gated field present in the envelope
+but absent from the current row. Current rows not in the envelope are
+reported as new (run --update to gate them).
+
+Field policies (why each gate has the shape it does):
+
+  p-value floors (chisq_p, ks_p): gated against the ABSOLUTE floor
+      --p-floor (default 1e-3), not against the recorded value. The
+      recorded p documents the healthy run; comparing p to it would turn
+      libm jitter across platforms into failures, while the floor only
+      fires on actual distributional breakage (an exact protocol's fixed-
+      seed p sits far above 1e-3 unless the law itself changed).
+
+  ceilings (messages_mean, messages_max, rel_err_med, rel_err_max,
+      degraded_trials): current <= recorded * (1 + headroom) + slack,
+      with per-field headroom (CEILINGS). Message costs and accuracy
+      errors may only regress by the headroom fraction; the absolute
+      slack term keeps near-zero recorded values (e.g. degraded_trials
+      = 0) from demanding exact reproduction across platforms.
+
+  exact requirements (REQUIRED): silent_wrong must be 0 and engine rows'
+      bit_identical must be 1 — these encode correctness claims (never
+      silently wrong under churn; engine replays the simulator bit for
+      bit), so no drift is tolerable.
+
+  identity fields (MATCH): churn_applied, trials, items must equal the
+      recorded value — a cell that silently changed its configuration is
+      not comparable to its envelope.
+
+--update merges the current rows into envelopes.json by key: matching
+cells are overwritten with fresh measurements, cells the run did not
+produce are kept (a restricted run must not un-gate the rest of the
+matrix), and new cells are added.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+KEY_FIELDS = ["scenario", "protocol", "backend"]
+
+# Fields gated as floors against --p-floor (absolute, not vs recorded).
+P_FLOOR_FIELDS = ["chisq_p", "ks_p"]
+
+# field -> (fractional headroom, absolute slack).
+CEILINGS = {
+    "messages_mean": (0.35, 0.0),
+    "messages_max": (0.50, 0.0),
+    "rel_err_med": (0.75, 0.0),
+    "rel_err_max": (0.75, 0.0),
+    "degraded_trials": (0.0, 2.0),
+}
+
+# field -> required exact value.
+REQUIRED = {
+    "silent_wrong": 0,
+    "bit_identical": 1,
+}
+
+# Fields that must match the recorded envelope exactly (cell identity).
+MATCH = ["churn_applied", "trials", "items"]
+
+GATED_FIELDS = (P_FLOOR_FIELDS + list(CEILINGS) + list(REQUIRED) + MATCH)
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def row_key(row):
+    return tuple((k, row.get(k)) for k in KEY_FIELDS)
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def index_rows(rows):
+    out = {}
+    for row in rows:
+        key = row_key(row)
+        if key in out:
+            raise SystemExit(f"duplicate row key {fmt_key(key)}")
+        out[key] = row
+    return out
+
+
+def check(envelopes, current_rows, p_floor):
+    failures = []
+    notes = []
+    current = index_rows(current_rows)
+    recorded = index_rows(envelopes["rows"])
+
+    for key, env_row in recorded.items():
+        cur_row = current.get(key)
+        if cur_row is None:
+            failures.append(f"MISSING {fmt_key(key)}: cell absent from "
+                            "current run")
+            continue
+        for field in P_FLOOR_FIELDS:
+            if field not in env_row:
+                continue
+            cur = cur_row.get(field)
+            if cur is None:
+                failures.append(f"MISSING {fmt_key(key)}: {field} absent "
+                                "from current run")
+                continue
+            line = f"{fmt_key(key)}: {field} {cur:.4g} (floor {p_floor:g})"
+            if cur >= p_floor:
+                notes.append("ok    " + line)
+            else:
+                failures.append("FLOOR " + line)
+        for field, (headroom, slack) in CEILINGS.items():
+            if field not in env_row:
+                continue
+            cur = cur_row.get(field)
+            if cur is None:
+                failures.append(f"MISSING {fmt_key(key)}: {field} absent "
+                                "from current run")
+                continue
+            bound = env_row[field] * (1.0 + headroom) + slack
+            line = (f"{fmt_key(key)}: {field} {cur:.4g} vs envelope "
+                    f"{env_row[field]:.4g} (ceiling {bound:.4g})")
+            if cur <= bound:
+                notes.append("ok    " + line)
+            else:
+                failures.append("CEIL  " + line)
+        for field, want in REQUIRED.items():
+            if field not in env_row:
+                continue
+            cur = cur_row.get(field)
+            line = f"{fmt_key(key)}: {field} {cur} (required {want})"
+            if cur == want:
+                notes.append("ok    " + line)
+            else:
+                failures.append("REQ   " + line)
+        for field in MATCH:
+            if field not in env_row:
+                continue
+            cur = cur_row.get(field)
+            if cur != env_row[field]:
+                failures.append(f"MATCH {fmt_key(key)}: {field} {cur} != "
+                                f"recorded {env_row[field]}")
+    for key in current:
+        if key not in recorded:
+            notes.append(f"new   {fmt_key(key)}: not in envelopes "
+                         "(run --update to gate it)")
+    return failures, notes
+
+
+def update(envelopes, current_rows, envelopes_path):
+    merged = index_rows(envelopes.get("rows", []))
+    for row in current_rows:
+        kept = {k: row[k] for k in KEY_FIELDS + GATED_FIELDS if k in row}
+        merged[row_key(row)] = kept
+    envelopes["rows"] = list(merged.values())
+    with open(envelopes_path, "w", encoding="utf-8") as f:
+        json.dump(envelopes, f, indent=1)
+        f.write("\n")
+    print(f"envelopes updated: {envelopes_path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="directory holding BENCH_scenarios.json")
+    parser.add_argument("--envelopes", default=None,
+                        help="envelope file (default: bench/envelopes.json)")
+    parser.add_argument("--p-floor", type=float, default=1e-3,
+                        help="absolute p-value floor for chisq_p / ks_p")
+    parser.add_argument("--update", action="store_true",
+                        help="merge the current rows into the envelopes")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    envelopes_path = args.envelopes or os.path.join(repo_root, "bench",
+                                                    "envelopes.json")
+    bench_path = os.path.join(args.build_dir, "BENCH_scenarios.json")
+    if not os.path.exists(bench_path):
+        print(f"{bench_path} not found — bench_scenarios did not run",
+              file=sys.stderr)
+        return 1
+    current_rows = load_json(bench_path)["rows"]
+
+    if args.update:
+        envelopes = (load_json(envelopes_path)
+                     if os.path.exists(envelopes_path) else {"rows": []})
+        update(envelopes, current_rows, envelopes_path)
+        return 0
+
+    envelopes = load_json(envelopes_path)
+    failures, notes = check(envelopes, current_rows, args.p_floor)
+    for line in notes:
+        print(line)
+    for line in failures:
+        print(line, file=sys.stderr)
+    if failures:
+        print(f"\nenvelope gate FAILED: {len(failures)} cell(s) outside "
+              "their envelope", file=sys.stderr)
+        return 1
+    print(f"\nenvelope gate passed ({len(notes)} checks within envelopes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Unit tests for the scenario envelope gate (tools/check_envelopes.py).
+
+The gate is itself CI-critical — a bug that silently skips a matrix cell
+would un-gate a real accuracy or message-cost regression — so its
+row-matching, floor/ceiling arithmetic, required-value checks and merge
+logic get the same treatment as library code. Run directly or from the
+scenario-matrix CI job:
+
+    python3 tools/check_envelopes_test.py
+"""
+
+import copy
+import importlib.util
+import json
+import os
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "check_envelopes", os.path.join(_HERE, "check_envelopes.py"))
+check_envelopes = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_envelopes)
+
+P_FLOOR = 1e-3
+
+
+def make_envelopes():
+    """One sim cell (p-values + churn counters) and one engine cell
+    (bit-identity), shaped like real bench_scenarios rows."""
+    return {
+        "rows": [
+            {"scenario": "site_churn", "protocol": "wswor", "backend": "sim",
+             "chisq_p": 0.42, "ks_p": 0.37,
+             "messages_mean": 700.0, "messages_max": 750.0,
+             "churn_applied": 1, "trials": 150,
+             "degraded_trials": 0, "silent_wrong": 0},
+            {"scenario": "site_churn", "protocol": "wswor",
+             "backend": "engine",
+             "messages_mean": 700.0, "messages_max": 710.0,
+             "churn_applied": 1, "trials": 3, "bit_identical": 1},
+        ],
+    }
+
+
+def healthy_rows(envelopes):
+    """Current rows that reproduce the envelope exactly."""
+    return copy.deepcopy(envelopes["rows"])
+
+
+def run_check(envelopes, rows):
+    return check_envelopes.check(envelopes, rows, P_FLOOR)
+
+
+class CheckTest(unittest.TestCase):
+    def test_healthy_run_passes(self):
+        env = make_envelopes()
+        failures, notes = run_check(env, healthy_rows(env))
+        self.assertEqual(failures, [])
+        self.assertTrue(notes)
+
+    def test_missing_row_is_hard_failure(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)[1:]  # drop the sim cell
+        failures, _ = run_check(env, rows)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("MISSING", failures[0])
+        self.assertIn("backend=sim", failures[0])
+
+    def test_missing_gated_field_is_failure(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        del rows[0]["chisq_p"]
+        failures, _ = run_check(env, rows)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("chisq_p absent", failures[0])
+
+    def test_p_value_below_floor_fails(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows[0]["chisq_p"] = 1e-5
+        failures, _ = run_check(env, rows)
+        self.assertEqual(len(failures), 1)
+        self.assertTrue(failures[0].startswith("FLOOR"))
+
+    def test_p_value_is_absolute_not_relative(self):
+        # A p far below the recorded 0.42 but above the floor is healthy:
+        # the gate must not compare p-values to the recorded run.
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows[0]["chisq_p"] = 0.02
+        failures, _ = run_check(env, rows)
+        self.assertEqual(failures, [])
+
+    def test_message_cost_ceiling(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        # messages_mean headroom is 35%: 700 * 1.35 = 945.
+        rows[0]["messages_mean"] = 944.0
+        failures, _ = run_check(env, rows)
+        self.assertEqual(failures, [])
+        rows[0]["messages_mean"] = 946.0
+        failures, _ = run_check(env, rows)
+        self.assertEqual(len(failures), 1)
+        self.assertTrue(failures[0].startswith("CEIL"))
+        self.assertIn("messages_mean", failures[0])
+
+    def test_degraded_trials_absolute_slack(self):
+        # Recorded 0: up to +2 trials may degrade before the gate fires.
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows[0]["degraded_trials"] = 2
+        failures, _ = run_check(env, rows)
+        self.assertEqual(failures, [])
+        rows[0]["degraded_trials"] = 3
+        failures, _ = run_check(env, rows)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("degraded_trials", failures[0])
+
+    def test_silent_wrong_required_zero(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows[0]["silent_wrong"] = 1
+        failures, _ = run_check(env, rows)
+        self.assertEqual(len(failures), 1)
+        self.assertTrue(failures[0].startswith("REQ"))
+        self.assertIn("silent_wrong", failures[0])
+
+    def test_bit_identical_required_one(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows[1]["bit_identical"] = 0
+        failures, _ = run_check(env, rows)
+        self.assertEqual(len(failures), 1)
+        self.assertTrue(failures[0].startswith("REQ"))
+        self.assertIn("bit_identical", failures[0])
+
+    def test_identity_mismatch_fails(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows[0]["churn_applied"] = 0
+        failures, _ = run_check(env, rows)
+        self.assertEqual(len(failures), 1)
+        self.assertTrue(failures[0].startswith("MATCH"))
+
+    def test_new_row_is_note_not_failure(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows.append({"scenario": "brand_new", "protocol": "wswor",
+                     "backend": "sim", "chisq_p": 0.5})
+        failures, notes = run_check(env, rows)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("new" in n and "brand_new" in n for n in notes))
+
+    def test_duplicate_key_rejected(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows.append(copy.deepcopy(rows[0]))
+        with self.assertRaises(SystemExit):
+            run_check(env, rows)
+
+
+class UpdateTest(unittest.TestCase):
+    def _do_update(self, envelopes, rows):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "envelopes.json")
+            check_envelopes.update(envelopes, rows, path)
+            with open(path, "r", encoding="utf-8") as f:
+                return json.load(f)
+
+    def test_update_overwrites_matching_cell(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows[0]["messages_mean"] = 123.0
+        merged = self._do_update(copy.deepcopy(env), rows)
+        sim = [r for r in merged["rows"] if r["backend"] == "sim"][0]
+        self.assertEqual(sim["messages_mean"], 123.0)
+
+    def test_update_keeps_cells_not_in_run(self):
+        # A restricted run must not un-gate the rest of the matrix.
+        env = make_envelopes()
+        rows = healthy_rows(env)[:1]  # only the sim cell ran
+        merged = self._do_update(copy.deepcopy(env), rows)
+        self.assertEqual(len(merged["rows"]), 2)
+        engine = [r for r in merged["rows"] if r["backend"] == "engine"][0]
+        self.assertEqual(engine["bit_identical"], 1)
+
+    def test_update_adds_new_cell(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows.append({"scenario": "brand_new", "protocol": "l1",
+                     "backend": "sim", "rel_err_max": 0.2, "trials": 150})
+        merged = self._do_update(copy.deepcopy(env), rows)
+        self.assertEqual(len(merged["rows"]), 3)
+        new = [r for r in merged["rows"] if r["scenario"] == "brand_new"][0]
+        self.assertEqual(new["rel_err_max"], 0.2)
+
+    def test_update_strips_ungated_fields(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows[0]["wall_seconds"] = 1.7  # measurement noise, not an envelope
+        merged = self._do_update(copy.deepcopy(env), rows)
+        sim = [r for r in merged["rows"] if r["backend"] == "sim"][0]
+        self.assertNotIn("wall_seconds", sim)
+
+    def test_update_then_check_round_trips(self):
+        env = make_envelopes()
+        rows = healthy_rows(env)
+        rows[0]["messages_mean"] = 650.0
+        merged = self._do_update(copy.deepcopy(env), rows)
+        failures, _ = check_envelopes.check(merged, rows, P_FLOOR)
+        self.assertEqual(failures, [])
+
+
+if __name__ == "__main__":
+    unittest.main()
